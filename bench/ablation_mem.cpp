@@ -1,0 +1,84 @@
+// Ablation D1/D3/D6 (DESIGN.md): memory-management design choices.
+//
+//  * upfront physical mapping + large pages vs demand paging (D1)
+//  * transparent MCDRAM spill vs Linux SNC-4 policies, and quadrant mode (D3)
+//  * McKernel demand-paging fallback vs mOS launch partitioning (D6)
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace mkos;
+  using core::SystemConfig;
+
+  core::print_banner("Ablation — memory management design choices (D1/D3/D6)",
+                     "DESIGN.md Section 6");
+
+  // ---- D1: what does upfront mapping buy on a fault-heavy app? ----------
+  // Run from DDR4 (as in Table I) so the comparison isolates the fault
+  // mechanics from the MCDRAM-footprint trade-off the HPC heap makes
+  // ("it runs out of MCDRAM", Section IV).
+  {
+    auto app = workloads::make_lulesh(50, /*force_ddr=*/true);
+    SystemConfig lin_cfg = SystemConfig::linux_default();
+    lin_cfg.lwk_prefer_mcdram = false;
+    const double lin = core::run_app(*app, lin_cfg, 27, 3, 51).median();
+    SystemConfig mck_no_brk = SystemConfig::mckernel();
+    mck_no_brk.hpc_brk = false;
+    mck_no_brk.lwk_prefer_mcdram = false;
+    const double lwk_demand = core::run_app(*app, mck_no_brk, 27, 3, 51).median();
+    SystemConfig mck_full = SystemConfig::mckernel();
+    mck_full.lwk_prefer_mcdram = false;
+    const double lwk_full = core::run_app(*app, mck_full, 27, 3, 51).median();
+    core::Table t{{"D1: Lulesh @27 nodes (DDR4)", "zones/s", "vs Linux"}};
+    t.add_row({"Linux (demand paging)", core::fmt(lin, 0), "100.0%"});
+    t.add_row({"McKernel, demand-paged heap", core::fmt(lwk_demand, 0),
+               core::fmt_pct(lwk_demand / lin)});
+    t.add_row({"McKernel, HPC brk()", core::fmt(lwk_full, 0),
+               core::fmt_pct(lwk_full / lin)});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  // ---- D3: CCS-QCD across memory modes -----------------------------------
+  {
+    auto app = workloads::make_ccs_qcd();
+    const double snc4_linux =
+        core::run_app(*app, SystemConfig::linux_default(), 8, 3, 52).median();
+    SystemConfig quad_linux = SystemConfig::linux_default();
+    quad_linux.mem_mode = core::MemMode::kQuadrantFlat;
+    const double quad = core::run_app(*app, quad_linux, 8, 3, 52).median();
+    const double mck =
+        core::run_app(*app, SystemConfig::mckernel(), 8, 3, 52).median();
+    core::Table t{{"D3: CCS-QCD @8 nodes", "Mflops/s/node", "vs Linux SNC-4"}};
+    t.add_row({"Linux SNC-4 (DDR4 only)", core::fmt_sci(snc4_linux), "100.0%"});
+    t.add_row({"Linux quadrant (numactl -p works)", core::fmt_sci(quad),
+               core::fmt_pct(quad / snc4_linux)});
+    t.add_row({"McKernel SNC-4 (transparent spill)", core::fmt_sci(mck),
+               core::fmt_pct(mck / snc4_linux)});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  // ---- D6: fallback vs rigid launch partitioning --------------------------
+  {
+    auto app = workloads::make_ccs_qcd();
+    const double mck =
+        core::run_app(*app, SystemConfig::mckernel(), 8, 3, 53).median();
+    SystemConfig mck_no_fb = SystemConfig::mckernel();
+    mck_no_fb.mckernel_demand_fallback = false;
+    const double no_fb = core::run_app(*app, mck_no_fb, 8, 3, 53).median();
+    SystemConfig mos_quota = SystemConfig::mos();
+    const double mos = core::run_app(*app, mos_quota, 8, 3, 53).median();
+    SystemConfig mos_no_quota = SystemConfig::mos();
+    mos_no_quota.mos_partition_mcdram = false;
+    const double mos_nq = core::run_app(*app, mos_no_quota, 8, 3, 53).median();
+    core::Table t{{"D6: CCS-QCD @8 nodes", "Mflops/s/node", "vs McKernel"}};
+    t.add_row({"McKernel (demand fallback)", core::fmt_sci(mck), "100.0%"});
+    t.add_row({"McKernel, fallback off", core::fmt_sci(no_fb), core::fmt_pct(no_fb / mck)});
+    t.add_row({"mOS (per-rank MCDRAM quota)", core::fmt_sci(mos), core::fmt_pct(mos / mck)});
+    t.add_row({"mOS, quota off", core::fmt_sci(mos_nq), core::fmt_pct(mos_nq / mck)});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

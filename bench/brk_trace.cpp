@@ -1,0 +1,47 @@
+// Section IV brk() trace: Lulesh -s 30 heap behaviour over the full 932
+// timesteps, plus the per-kernel cost of the churn.
+//
+//   paper: "There were 7,526 queries ... 3,028 expansion requests, and
+//   1,499 requests for contraction for a total of about 12,000 calls to
+//   brk() ... At its largest, the heap grew to 87 MB, but ... the
+//   cumulative amount of memory requested was 22 GB."
+
+#include <cstdio>
+
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "runtime/simmpi.hpp"
+#include "workloads/app.hpp"
+
+int main() {
+  using namespace mkos;
+  using core::SystemConfig;
+
+  core::print_banner("Section IV — Lulesh -s 30 brk() trace (932 timesteps)",
+                     "IPDPS'18; measured: 7,526 / 3,028 / 1,499 calls, 87 MB, 22 GB");
+
+  core::Table table{{"kernel", "queries", "grows", "shrinks", "total", "max heap",
+                     "cum. growth", "heap faults"}};
+
+  for (const auto os :
+       {kernel::OsKind::kLinux, kernel::OsKind::kMcKernel, kernel::OsKind::kMos}) {
+    auto app = workloads::make_lulesh(30, /*force_ddr=*/false, /*iteration_cap=*/932);
+    const SystemConfig config = SystemConfig::for_os(os);
+    const runtime::Machine machine = config.machine(1);
+    runtime::Job job{machine, app->spec(1), /*seed=*/3};
+    app->setup(job);
+    runtime::MpiWorld world{job, 4};
+    (void)app->run(job, world);
+
+    const auto& s = job.lane(0).heap()->stats();
+    table.add_row({config.label(), std::to_string(s.queries), std::to_string(s.grows),
+                   std::to_string(s.shrinks), std::to_string(s.calls()),
+                   sim::bytes_to_string(s.max_break), sim::bytes_to_string(s.cum_growth),
+                   std::to_string(s.faults)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("paper row (any kernel, bookkeeping): 7,526 + 3,028 + 1,499 = 12,053 calls;\n"
+              "87 MB peak; 22 GB cumulative. Under Linux the 3,028 expansions refault\n"
+              "everything the 1,499 contractions released — on 64 ranks per node.\n");
+  return 0;
+}

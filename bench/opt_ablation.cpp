@@ -1,0 +1,56 @@
+// Section IV proxy-process options: "--mpol-shm-premap ... and
+// --disable-sched-yield ... with the combination of these two we observed
+// 9% and 2% improvements on 16 nodes for AMG 2013 and MiniFE, respectively."
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using mkos::core::SystemConfig;
+
+double median_at_16(mkos::workloads::App& app, const SystemConfig& config) {
+  return mkos::core::run_app(app, config, /*nodes=*/16, /*reps=*/5, /*seed=*/31).median();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mkos;
+
+  core::print_banner(
+      "Section IV — McKernel proxy options: --mpol-shm-premap, --disable-sched-yield",
+      "IPDPS'18; paper: +9% AMG 2013, +2% MiniFE at 16 nodes (combined)");
+
+  const SystemConfig plain = SystemConfig::mckernel();
+  SystemConfig premap = plain;
+  premap.mckernel_mpol_shm_premap = true;
+  SystemConfig yield = plain;
+  yield.mckernel_disable_sched_yield = true;
+  SystemConfig both = premap;
+  both.mckernel_disable_sched_yield = true;
+
+  core::Table table{{"app @16 nodes", "+premap only", "+yield only", "both",
+                     "paper (both)"}};
+  struct Row {
+    const char* name;
+    std::unique_ptr<workloads::App> app;
+    const char* paper;
+  };
+  Row rows[] = {{"AMG 2013", workloads::make_amg2013(), "+9%"},
+                {"MiniFE", workloads::make_minife(), "+2%"}};
+  for (auto& row : rows) {
+    const double base = median_at_16(*row.app, plain);
+    const double p = median_at_16(*row.app, premap);
+    const double y = median_at_16(*row.app, yield);
+    const double b = median_at_16(*row.app, both);
+    table.add_row({row.name, core::fmt_pct(p / base - 1.0), core::fmt_pct(y / base - 1.0),
+                   core::fmt_pct(b / base - 1.0), row.paper});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("premap avoids the shared-memory fault storm at MPI_Init;\n"
+              "the yield hijack removes user/kernel crossings from OpenMP spin loops.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Campaign runner: sweep every Fig. 4 application over OS stacks and node
+// counts, emitting machine-readable CSV (stdout) for external plotting.
+//
+//   $ ./examples/campaign > results.csv
+//   $ ./examples/campaign 64 3        # cap node count, repetitions
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mkos;
+
+  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 2048;
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  core::Table table{{"app", "os", "nodes", "metric", "median", "min", "max"}};
+  for (const auto& app : workloads::make_fig4_apps()) {
+    for (const auto os :
+         {kernel::OsKind::kLinux, kernel::OsKind::kMcKernel, kernel::OsKind::kMos}) {
+      const core::SystemConfig config = core::SystemConfig::for_os(os);
+      for (const auto& point :
+           core::scaling_sweep(*app, config, reps, /*seed=*/2026, max_nodes)) {
+        table.add_row({std::string(app->name()), config.label(),
+                       std::to_string(point.nodes), std::string(app->metric()),
+                       core::fmt_sci(point.median, 6), core::fmt_sci(point.min, 6),
+                       core::fmt_sci(point.max, 6)});
+      }
+    }
+  }
+  std::fputs(table.to_csv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,238 @@
+// The standard LTP-style catalog: 3,328 cases.
+//
+// Family sizes follow the real LTP syscall test layout where the paper
+// gives numbers (5 ptrace cases, 11 move_pages combinations, clone's one
+// esoteric flag test, the fork()-setup dependency of wait/kill/pipe/dup2/
+// exec families); the long tail of LTP areas that exercise no kernel
+// boundary we model differently (fs stress, ipc, containers) is represented
+// by generic always-portable cases so the suite totals match the paper's
+// 3,328. The per-kernel failure counts are *computed* from dispositions,
+// capabilities and functional probes — see DESIGN.md Section 2.
+
+#include <algorithm>
+#include <array>
+
+#include "compat/ltp.hpp"
+#include "sim/contracts.hpp"
+
+namespace mkos::compat {
+
+namespace {
+
+using kernel::Capability;
+using kernel::Sys;
+
+class Builder {
+ public:
+  /// `n` plain cases: pass unless the syscall is entirely unsupported.
+  void basic(Sys s, int n) { emit(s, n, false, std::nullopt, FunctionalCheck::kNone); }
+  /// `n` cases that need `cap` (flag combinations, edge semantics).
+  void cap(Sys s, int n, Capability c) { emit(s, n, false, c, FunctionalCheck::kNone); }
+  /// `n` cases whose LTP setup fork()s before testing `s`.
+  void forked(Sys s, int n) { emit(s, n, true, std::nullopt, FunctionalCheck::kNone); }
+  /// One behavioural probe executed against the kernel.
+  void functional(Sys s, FunctionalCheck f) { emit(s, 1, false, std::nullopt, f); }
+
+  /// Pad with always-portable cases up to `total`.
+  std::vector<TestCase> finish(int total) {
+    MKOS_EXPECTS(static_cast<int>(cases_.size()) <= total);
+    int i = 0;
+    while (static_cast<int>(cases_.size()) < total) {
+      TestCase t;
+      t.name = "ltp_generic" + pad4(i++);
+      t.sys = Sys::kUname;
+      cases_.push_back(std::move(t));
+    }
+    return std::move(cases_);
+  }
+
+ private:
+  void emit(Sys s, int n, bool forked_setup, std::optional<Capability> c,
+            FunctionalCheck f) {
+    MKOS_EXPECTS(n >= 1);
+    int& k = serial_[static_cast<std::size_t>(s)];
+    for (int i = 0; i < n; ++i) {
+      TestCase t;
+      t.name = std::string(kernel::sys_name(s)) + pad2(++k);
+      t.sys = s;
+      t.fork_setup = forked_setup;
+      t.requires_capability = c;
+      t.functional = f;
+      cases_.push_back(std::move(t));
+    }
+  }
+
+  static std::string pad2(int v) {
+    return (v < 10 ? "0" : "") + std::to_string(v);
+  }
+  static std::string pad4(int v) {
+    std::string s = std::to_string(v);
+    return std::string(4 - std::min<std::size_t>(4, s.size()), '0') + s;
+  }
+
+  std::vector<TestCase> cases_;
+  std::array<int, kernel::kSysCount> serial_{};
+};
+
+}  // namespace
+
+LtpSuite LtpSuite::standard() {
+  Builder b;
+
+  // ----------------------------------------------------------- memory
+  b.basic(Sys::kBrk, 2);
+  b.functional(Sys::kBrk, FunctionalCheck::kBrkGrowQuery);
+  // "Because mOS does not return memory to the system when the heap
+  // shrinks, tests that expect a page fault fail." (both LWKs' HPC brk)
+  b.functional(Sys::kBrk, FunctionalCheck::kBrkShrinkReleases);
+  b.functional(Sys::kBrk, FunctionalCheck::kBrkShrinkRefaults);
+  b.basic(Sys::kMmap, 16);
+  b.functional(Sys::kMmap, FunctionalCheck::kMmapUnmap);
+  b.basic(Sys::kMunmap, 3);
+  b.basic(Sys::kMprotect, 5);
+  b.basic(Sys::kMremap, 2);
+  b.cap(Sys::kMremap, 3, Capability::kMremapFull);
+  b.basic(Sys::kMadvise, 11);
+  b.basic(Sys::kSetMempolicy, 3);
+  b.functional(Sys::kSetMempolicy, FunctionalCheck::kMempolicyPreferred);
+  b.basic(Sys::kGetMempolicy, 2);
+  b.basic(Sys::kMbind, 13);
+  // "Eleven of the 32 failing experiments attempt to test various
+  // combinations of the move_pages() system call, which is work in progress."
+  b.basic(Sys::kMovePages, 1);
+  b.cap(Sys::kMovePages, 11, Capability::kMovePages);
+  b.cap(Sys::kMigratePages, 2, Capability::kMigratePages);
+  b.basic(Sys::kMlock, 4);
+  b.basic(Sys::kMunlock, 2);
+  b.basic(Sys::kShmget, 5);
+  b.basic(Sys::kShmat, 3);
+  b.basic(Sys::kShmdt, 2);
+
+  // ----------------------------------------------------------- process
+  b.basic(Sys::kClone, 8);
+  // "tests the error behavior of an unusual clone() flag combination,
+  // which actual applications never seem to use."
+  b.cap(Sys::kClone, 1, Capability::kCloneEsotericFlags);
+  b.cap(Sys::kFork, 6, Capability::kForkFull);
+  b.basic(Sys::kVfork, 2);
+  b.forked(Sys::kExecve, 15);
+  b.forked(Sys::kWait4, 12);
+  b.forked(Sys::kWaitid, 6);
+  b.basic(Sys::kExit, 2);
+  b.basic(Sys::kExitGroup, 1);
+  b.basic(Sys::kGetpid, 3);
+  b.basic(Sys::kGettid, 2);
+  b.forked(Sys::kGetppid, 4);
+  b.forked(Sys::kKill, 12);
+  b.basic(Sys::kTkill, 2);
+  b.basic(Sys::kTgkill, 3);
+  b.forked(Sys::kRtSigaction, 8);
+  b.basic(Sys::kRtSigprocmask, 8);
+  b.basic(Sys::kSigaltstack, 2);
+  b.basic(Sys::kSchedYield, 2);
+  b.basic(Sys::kSchedSetaffinity, 2);
+  b.basic(Sys::kSchedGetaffinity, 2);
+  b.basic(Sys::kSchedSetscheduler, 17);
+  b.basic(Sys::kSchedGetscheduler, 3);
+  b.basic(Sys::kSetpriority, 5);
+  b.basic(Sys::kGetpriority, 2);
+  // "ptrace() is working in mOS. However, four of the five ptrace()
+  // experiments fail." (McKernel's proxy split has the same four.)
+  b.cap(Sys::kPtrace, 1, Capability::kPtraceBasic);
+  b.cap(Sys::kPtrace, 4, Capability::kPtraceFull);
+  b.basic(Sys::kPrctl, 2);
+  b.cap(Sys::kPrctl, 2, Capability::kProcSelfComplete);
+  b.basic(Sys::kArchPrctl, 1);
+  b.basic(Sys::kSetTidAddress, 1);
+  b.basic(Sys::kFutex, 9);
+  b.basic(Sys::kGetrlimit, 4);
+  b.basic(Sys::kSetrlimit, 3);
+  b.basic(Sys::kGetrusage, 4);
+  b.basic(Sys::kTimes, 1);
+
+  // ----------------------------------------------------------- files
+  b.basic(Sys::kOpen, 17);
+  b.functional(Sys::kOpen, FunctionalCheck::kOpenProcSelfMaps);
+  b.functional(Sys::kOpen, FunctionalCheck::kOpenProcSelfEnviron);
+  b.basic(Sys::kOpenat, 3);
+  b.basic(Sys::kClose, 2);
+  b.basic(Sys::kRead, 4);
+  b.basic(Sys::kWrite, 5);
+  b.basic(Sys::kPread64, 2);
+  b.basic(Sys::kPwrite64, 2);
+  b.basic(Sys::kReadv, 3);
+  b.basic(Sys::kWritev, 3);
+  b.basic(Sys::kLseek, 5);
+  b.basic(Sys::kStat, 3);
+  b.basic(Sys::kFstat, 2);
+  b.basic(Sys::kLstat, 2);
+  b.basic(Sys::kAccess, 4);
+  b.basic(Sys::kDup, 7);
+  b.forked(Sys::kDup2, 9);
+  b.forked(Sys::kPipe, 14);
+  b.basic(Sys::kFcntl, 30);
+  b.basic(Sys::kIoctl, 9);
+  b.basic(Sys::kMknod, 9);
+  b.basic(Sys::kUnlink, 8);
+  b.basic(Sys::kRename, 14);
+  b.basic(Sys::kMkdir, 9);
+  b.basic(Sys::kRmdir, 15);
+  b.basic(Sys::kGetdents, 2);
+  b.basic(Sys::kChdir, 4);
+  b.basic(Sys::kGetcwd, 4);
+  b.basic(Sys::kReadlink, 4);
+  b.basic(Sys::kChmod, 9);
+  b.basic(Sys::kChown, 5);
+  b.basic(Sys::kUmask, 3);
+  b.basic(Sys::kTruncate, 4);
+  b.basic(Sys::kFtruncate, 4);
+  b.basic(Sys::kFsync, 3);
+  b.basic(Sys::kStatfs, 3);
+
+  // ----------------------------------------------------------- network
+  b.basic(Sys::kSocket, 2);
+  b.basic(Sys::kConnect, 1);
+  b.basic(Sys::kAccept, 2);
+  b.basic(Sys::kBind, 6);
+  b.basic(Sys::kListen, 1);
+  b.basic(Sys::kSendto, 3);
+  b.basic(Sys::kRecvfrom, 1);
+  b.basic(Sys::kSendmsg, 3);
+  b.basic(Sys::kRecvmsg, 3);
+  b.basic(Sys::kShutdown, 2);
+  b.basic(Sys::kGetsockname, 1);
+  b.basic(Sys::kGetsockopt, 2);
+  b.basic(Sys::kSetsockopt, 2);
+  b.basic(Sys::kPoll, 2);
+  b.basic(Sys::kSelect, 4);
+  b.basic(Sys::kEpollCreate, 3);
+  b.basic(Sys::kEpollCtl, 3);
+  b.basic(Sys::kEpollWait, 2);
+
+  // ----------------------------------------------------------- time/misc
+  b.basic(Sys::kGettimeofday, 2);
+  b.basic(Sys::kClockGettime, 3);
+  b.basic(Sys::kClockNanosleep, 3);
+  b.basic(Sys::kNanosleep, 4);
+  b.basic(Sys::kAlarm, 7);
+  // "others are simply missing implementation" — POSIX interval timers.
+  b.cap(Sys::kTimerCreate, 3, Capability::kTimersFull);
+  b.cap(Sys::kTimerSettime, 3, Capability::kTimersFull);
+  b.basic(Sys::kGetitimer, 3);
+  b.basic(Sys::kSetitimer, 3);
+  b.basic(Sys::kUname, 3);
+  b.basic(Sys::kSysinfo, 3);
+  b.basic(Sys::kGetuid, 1);
+  b.basic(Sys::kGetgid, 1);
+  b.basic(Sys::kGeteuid, 1);
+  b.basic(Sys::kGetegid, 1);
+  b.basic(Sys::kSetuid, 4);
+  b.basic(Sys::kSetgid, 3);
+  b.basic(Sys::kCapget, 2);
+  b.basic(Sys::kCapset, 7);
+  b.basic(Sys::kPerfEventOpen, 2);
+
+  return LtpSuite{b.finish(3328)};
+}
+
+}  // namespace mkos::compat

@@ -1,0 +1,66 @@
+#include "core/config.hpp"
+
+#include "hw/knl.hpp"
+
+namespace mkos::core {
+
+SystemConfig SystemConfig::linux_default() { return SystemConfig{}; }
+
+SystemConfig SystemConfig::mckernel() {
+  SystemConfig c;
+  c.os = kernel::OsKind::kMcKernel;
+  return c;
+}
+
+SystemConfig SystemConfig::mos() {
+  SystemConfig c;
+  c.os = kernel::OsKind::kMos;
+  return c;
+}
+
+SystemConfig SystemConfig::for_os(kernel::OsKind os) {
+  SystemConfig c;
+  c.os = os;
+  return c;
+}
+
+std::string SystemConfig::label() const { return std::string(kernel::to_string(os)); }
+
+kernel::NodeOsConfig SystemConfig::node_config() const {
+  kernel::NodeOsConfig nc;
+  nc.os = os;
+  nc.app_cores = app_cores;
+  nc.service_cores = service_cores;
+  nc.linux_opts.nohz_full = linux_nohz_full;
+  nc.linux_opts.thp = linux_thp;
+  // With no reserved service cores, application ranks share CPU 0 with the
+  // system daemons ("often due to CPU 0 running services and introducing
+  // noise", Section III-A).
+  nc.linux_opts.service_core_shared = service_cores == 0;
+  nc.mckernel_opts.hpc_brk = hpc_brk;
+  nc.mckernel_opts.prefer_mcdram = lwk_prefer_mcdram;
+  nc.mckernel_opts.demand_fallback = mckernel_demand_fallback;
+  nc.mckernel_opts.mpol_shm_premap = mckernel_mpol_shm_premap;
+  nc.mckernel_opts.disable_sched_yield = mckernel_disable_sched_yield;
+  nc.mos_opts.hpc_brk = hpc_brk;
+  nc.mos_opts.prefer_mcdram = lwk_prefer_mcdram;
+  nc.mos_opts.partition_mcdram_per_rank = mos_partition_mcdram;
+  nc.linux_opts.co_tenant = co_tenant && os == kernel::OsKind::kLinux;
+  nc.mckernel_opts.co_tenant_on_linux = co_tenant;
+  nc.mos_opts.co_tenant_on_linux = co_tenant;
+  return nc;
+}
+
+hw::NodeTopology SystemConfig::node_topology() const {
+  return mem_mode == MemMode::kSnc4Flat ? hw::knl_snc4_flat() : hw::knl_quadrant_flat();
+}
+
+hw::NetworkModel SystemConfig::network() const {
+  return user_space_network ? hw::omni_path_user_space() : hw::omni_path_100();
+}
+
+runtime::Machine SystemConfig::machine(int nodes) const {
+  return runtime::Machine{hw::Cluster{nodes, node_topology(), network()}, node_config()};
+}
+
+}  // namespace mkos::core

@@ -1,0 +1,61 @@
+#pragma once
+// SystemConfig — the top-level deployment choice an experiment runs under:
+// which OS stack, which feature toggles, which memory mode, which fabric.
+// This is the public entry point a downstream user starts from.
+
+#include <string>
+
+#include "hw/cluster.hpp"
+#include "kernel/node.hpp"
+#include "runtime/job.hpp"
+
+namespace mkos::core {
+
+enum class MemMode : std::uint8_t { kSnc4Flat, kQuadrantFlat };
+
+struct SystemConfig {
+  kernel::OsKind os = kernel::OsKind::kLinux;
+  MemMode mem_mode = MemMode::kSnc4Flat;
+
+  int app_cores = 64;
+  int service_cores = 4;
+
+  // Linux knobs.
+  bool linux_nohz_full = true;
+  bool linux_thp = true;
+
+  // LWK knobs.
+  bool hpc_brk = true;
+  bool lwk_prefer_mcdram = true;
+  bool mckernel_demand_fallback = true;
+  bool mckernel_mpol_shm_premap = false;
+  bool mckernel_disable_sched_yield = false;
+  bool mos_partition_mcdram = true;
+
+  // Fabric: first-generation Omni-Path (kernel-involved send path) vs a
+  // hypothetical user-space-driven generation (the Section IV outlook).
+  bool user_space_network = false;
+
+  /// Multi-tenancy extension: a co-located tenant on every node. On Linux it
+  /// shares the application cores; on a multi-kernel it is confined to the
+  /// Linux partition — the isolation experiment of the papers the related
+  /// work cites ([31], [32]).
+  bool co_tenant = false;
+
+  [[nodiscard]] static SystemConfig linux_default();
+  [[nodiscard]] static SystemConfig mckernel();
+  [[nodiscard]] static SystemConfig mos();
+  [[nodiscard]] static SystemConfig for_os(kernel::OsKind os);
+
+  /// Short human label ("McKernel", "Linux", "mOS").
+  [[nodiscard]] std::string label() const;
+
+  [[nodiscard]] kernel::NodeOsConfig node_config() const;
+  [[nodiscard]] hw::NodeTopology node_topology() const;
+  [[nodiscard]] hw::NetworkModel network() const;
+
+  /// Assemble the machine an experiment boots.
+  [[nodiscard]] runtime::Machine machine(int nodes) const;
+};
+
+}  // namespace mkos::core

@@ -1,0 +1,73 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::core {
+
+namespace {
+std::uint64_t mix_seed(std::uint64_t seed, int rep) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep + 1);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+RunStats run_app(workloads::App& app, const SystemConfig& config, int nodes, int reps,
+                 std::uint64_t seed) {
+  MKOS_EXPECTS(reps >= 1);
+  RunStats rs;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Fresh machine per repetition: heap state, placements and partition
+    // fragmentation must not leak across runs.
+    const runtime::Machine machine = config.machine(nodes);
+    runtime::Job job(machine, app.spec(nodes), mix_seed(seed, rep));
+    app.setup(job);
+    runtime::MpiWorld world(job, mix_seed(seed ^ 0xc0ffee, rep));
+    const workloads::AppResult res = app.run(job, world);
+    rs.fom.add(res.fom);
+    rs.unit = res.unit;
+  }
+  return rs;
+}
+
+std::vector<ScalingPoint> scaling_sweep(workloads::App& app, const SystemConfig& config,
+                                        int reps, std::uint64_t seed, int max_nodes) {
+  std::vector<ScalingPoint> out;
+  for (int nodes : app.node_counts()) {
+    if (nodes > max_nodes) continue;
+    const RunStats rs = run_app(app, config, nodes, reps, seed + static_cast<std::uint64_t>(nodes));
+    out.push_back(ScalingPoint{nodes, rs.median(), rs.min(), rs.max()});
+  }
+  return out;
+}
+
+std::vector<RelativePoint> relative_to(const std::vector<ScalingPoint>& subject,
+                                       const std::vector<ScalingPoint>& baseline) {
+  std::vector<RelativePoint> out;
+  for (const auto& s : subject) {
+    const auto it = std::find_if(baseline.begin(), baseline.end(),
+                                 [&](const ScalingPoint& b) { return b.nodes == s.nodes; });
+    if (it == baseline.end() || it->median == 0.0) continue;
+    out.push_back(RelativePoint{s.nodes, s.median / it->median});
+  }
+  return out;
+}
+
+Headline headline(const std::vector<std::vector<RelativePoint>>& curves) {
+  sim::Summary all;
+  for (const auto& curve : curves) {
+    for (const auto& p : curve) all.add(p.ratio);
+  }
+  Headline h;
+  if (!all.empty()) {
+    h.median_ratio = all.median();
+    h.best_ratio = all.max();
+  }
+  return h;
+}
+
+}  // namespace mkos::core

@@ -1,0 +1,59 @@
+#pragma once
+// Experiment driver: run an application under a system configuration at a
+// node count, repeated with independent noise seeds, reporting the median
+// with min/max error bars — the paper's methodology ("We ran most
+// applications five times and show the median").
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/stats.hpp"
+#include "workloads/app.hpp"
+
+namespace mkos::core {
+
+struct RunStats {
+  sim::Summary fom;
+  std::string unit;
+
+  [[nodiscard]] double median() const { return fom.median(); }
+  [[nodiscard]] double min() const { return fom.min(); }
+  [[nodiscard]] double max() const { return fom.max(); }
+};
+
+/// One (app, config, nodes) cell: `reps` independent runs.
+[[nodiscard]] RunStats run_app(workloads::App& app, const SystemConfig& config,
+                               int nodes, int reps, std::uint64_t seed);
+
+struct ScalingPoint {
+  int nodes = 0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Full node-count sweep at the app's own counts (capped at `max_nodes`).
+[[nodiscard]] std::vector<ScalingPoint> scaling_sweep(workloads::App& app,
+                                                      const SystemConfig& config,
+                                                      int reps, std::uint64_t seed,
+                                                      int max_nodes = 1 << 30);
+
+/// Median relative performance vs a baseline sweep (same node counts).
+struct RelativePoint {
+  int nodes = 0;
+  double ratio = 0.0;  ///< config median / baseline median
+};
+[[nodiscard]] std::vector<RelativePoint> relative_to(
+    const std::vector<ScalingPoint>& subject, const std::vector<ScalingPoint>& baseline);
+
+/// The paper's headline aggregation over a set of relative curves:
+/// "a median performance improvement of 9% with some applications as high
+/// as 280%". Returns {median ratio, best ratio} over all (app, node) cells.
+struct Headline {
+  double median_ratio = 0.0;
+  double best_ratio = 0.0;
+};
+[[nodiscard]] Headline headline(const std::vector<std::vector<RelativePoint>>& curves);
+
+}  // namespace mkos::core

@@ -1,0 +1,98 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mkos::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      out += "| ";
+      if (c == 0) {
+        out += row[c];
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += row[c];
+      }
+      out += ' ';
+    }
+    out += "|\n";
+  };
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit(headers_, out);
+  for (const auto& row : rows_) emit(row, out);
+  return out;
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::string bar(72, '=');
+  std::printf("%s\n%s\n  (%s)\n%s\n", bar.c_str(), title.c_str(), paper_ref.c_str(),
+              bar.c_str());
+}
+
+}  // namespace mkos::core

@@ -1,0 +1,38 @@
+#pragma once
+// ASCII table / number formatting for the bench harness output.
+
+#include <string>
+#include <vector>
+
+namespace mkos::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns (first column left-, rest right-aligned).
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double ("12.34").
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+/// Scientific ("1.23e+07").
+[[nodiscard]] std::string fmt_sci(double v, int precision = 2);
+/// Percentage of 1.0 ("121.0%").
+[[nodiscard]] std::string fmt_pct(double ratio, int precision = 1);
+
+/// Section banner used by every bench binary.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace mkos::core

@@ -1,0 +1,97 @@
+#include "hw/topology.hpp"
+
+#include <algorithm>
+
+namespace mkos::hw {
+
+NodeTopology::NodeTopology(std::string name, std::vector<Core> cores,
+                           std::vector<MemoryDomain> domains,
+                           std::vector<std::vector<int>> distances)
+    : name_(std::move(name)),
+      cores_(std::move(cores)),
+      domains_(std::move(domains)),
+      distances_(std::move(distances)) {
+  MKOS_EXPECTS(!cores_.empty());
+  MKOS_EXPECTS(!domains_.empty());
+  MKOS_EXPECTS(distances_.size() == domains_.size());
+  for (const auto& row : distances_) MKOS_EXPECTS(row.size() == domains_.size());
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    MKOS_EXPECTS(domains_[i].id == static_cast<DomainId>(i));
+  }
+  int max_q = 0;
+  for (const auto& c : cores_) max_q = std::max(max_q, c.quadrant);
+  for (const auto& d : domains_) max_q = std::max(max_q, d.quadrant);
+  quadrants_ = max_q + 1;
+}
+
+const Core& NodeTopology::core(CoreId id) const {
+  MKOS_EXPECTS(id >= 0 && id < core_count());
+  return cores_[static_cast<std::size_t>(id)];
+}
+
+const MemoryDomain& NodeTopology::domain(DomainId id) const {
+  MKOS_EXPECTS(id >= 0 && id < static_cast<DomainId>(domains_.size()));
+  return domains_[static_cast<std::size_t>(id)];
+}
+
+int NodeTopology::distance(DomainId a, DomainId b) const {
+  MKOS_EXPECTS(a >= 0 && a < static_cast<DomainId>(domains_.size()));
+  MKOS_EXPECTS(b >= 0 && b < static_cast<DomainId>(domains_.size()));
+  return distances_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+std::vector<DomainId> NodeTopology::domains_of_kind(MemKind kind) const {
+  std::vector<DomainId> out;
+  for (const auto& d : domains_) {
+    if (d.kind == kind) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<DomainId> NodeTopology::domains_of_quadrant(int quadrant) const {
+  std::vector<DomainId> out;
+  for (const auto& d : domains_) {
+    if (d.quadrant == quadrant) out.push_back(d.id);
+  }
+  return out;
+}
+
+DomainId NodeTopology::domain_in_quadrant(int quadrant, MemKind kind) const {
+  for (const auto& d : domains_) {
+    if (d.quadrant == quadrant && d.kind == kind) return d.id;
+  }
+  return -1;
+}
+
+std::vector<DomainId> NodeTopology::fallback_order(int quadrant) const {
+  DomainId home = domain_in_quadrant(quadrant, MemKind::kDdr4);
+  if (home < 0) home = 0;
+  std::vector<DomainId> order;
+  order.reserve(domains_.size());
+  for (const auto& d : domains_) order.push_back(d.id);
+  std::sort(order.begin(), order.end(), [&](DomainId a, DomainId b) {
+    const int da = distance(home, a);
+    const int db = distance(home, b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  return order;
+}
+
+sim::Bytes NodeTopology::total_capacity(MemKind kind) const {
+  sim::Bytes total = 0;
+  for (const auto& d : domains_) {
+    if (d.kind == kind) total += d.capacity;
+  }
+  return total;
+}
+
+double NodeTopology::total_bandwidth_gbps(MemKind kind) const {
+  double total = 0.0;
+  for (const auto& d : domains_) {
+    if (d.kind == kind) total += d.stream_gbps;
+  }
+  return total;
+}
+
+}  // namespace mkos::hw

@@ -1,0 +1,82 @@
+#pragma once
+// Node hardware model: cores, hardware threads, and NUMA memory domains.
+//
+// This is the resource inventory every kernel model partitions and every
+// memory policy places pages into. It deliberately carries exactly the
+// attributes the paper's mechanisms depend on: domain kind (MCDRAM vs DDR4),
+// capacity, stream bandwidth, latency, the NUMA distance matrix Linux uses
+// for fallback ordering, and the core <-> quadrant affinity SNC-4 exposes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/contracts.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace mkos::hw {
+
+enum class MemKind : std::uint8_t { kMcdram, kDdr4 };
+
+[[nodiscard]] constexpr const char* to_string(MemKind k) {
+  return k == MemKind::kMcdram ? "MCDRAM" : "DDR4";
+}
+
+using DomainId = int;
+using CoreId = int;
+
+struct MemoryDomain {
+  DomainId id = 0;
+  MemKind kind = MemKind::kDdr4;
+  sim::Bytes capacity = 0;
+  double stream_gbps = 0.0;      ///< sustainable bandwidth, GB/s
+  sim::TimeNs load_latency{0};   ///< idle load-to-use latency
+  int quadrant = 0;              ///< SNC cluster this domain belongs to
+};
+
+struct Core {
+  CoreId id = 0;
+  int quadrant = 0;
+  int smt_threads = 4;
+};
+
+class NodeTopology {
+ public:
+  NodeTopology(std::string name, std::vector<Core> cores,
+               std::vector<MemoryDomain> domains,
+               std::vector<std::vector<int>> distances);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int core_count() const { return static_cast<int>(cores_.size()); }
+  [[nodiscard]] int quadrant_count() const { return quadrants_; }
+  [[nodiscard]] const std::vector<Core>& cores() const { return cores_; }
+  [[nodiscard]] const Core& core(CoreId id) const;
+  [[nodiscard]] const std::vector<MemoryDomain>& domains() const { return domains_; }
+  [[nodiscard]] const MemoryDomain& domain(DomainId id) const;
+
+  /// NUMA distance in Linux's SLIT convention (local == 10).
+  [[nodiscard]] int distance(DomainId a, DomainId b) const;
+
+  [[nodiscard]] std::vector<DomainId> domains_of_kind(MemKind kind) const;
+  [[nodiscard]] std::vector<DomainId> domains_of_quadrant(int quadrant) const;
+
+  /// The domain of `kind` in the given quadrant, or -1 if none.
+  [[nodiscard]] DomainId domain_in_quadrant(int quadrant, MemKind kind) const;
+
+  /// Domains sorted by distance from the DDR4 domain of `quadrant`
+  /// (ties broken by id) — the order Linux's zonelist fallback walks.
+  [[nodiscard]] std::vector<DomainId> fallback_order(int quadrant) const;
+
+  [[nodiscard]] sim::Bytes total_capacity(MemKind kind) const;
+  [[nodiscard]] double total_bandwidth_gbps(MemKind kind) const;
+
+ private:
+  std::string name_;
+  std::vector<Core> cores_;
+  std::vector<MemoryDomain> domains_;
+  std::vector<std::vector<int>> distances_;
+  int quadrants_ = 1;
+};
+
+}  // namespace mkos::hw

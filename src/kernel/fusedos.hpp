@@ -1,0 +1,57 @@
+#pragma once
+// FusedOS-style kernel model (related work, paper Section V-C).
+//
+// "FusedOS was the first system to combine Linux with an LWK ... Contrary
+// to mOS and McKernel, FusedOS runs the LWK at user level. The kernel code
+// on application CPU cores is simply a stub that offloads all system calls
+// to a corresponding user-level proxy process called CL ... FusedOS
+// provides the same functionality with the Blue Gene CNK from which CL was
+// derived. The FusedOS work was the first to demonstrate that Linux noise
+// can be isolated to the Linux cores."
+//
+// Modeled consequences: CNK-grade noise isolation and static upfront memory
+// mapping (large pages, no faults) — but *every* system call, including the
+// memory calls the multi-kernels keep local, crosses to the CL proxy. The
+// design-space bench uses this to show why mOS/McKernel implement the
+// performance-sensitive calls inside the LWK.
+
+#include "kernel/ikc.hpp"
+#include "kernel/kernel.hpp"
+
+namespace mkos::kernel {
+
+class FusedOs final : public Kernel {
+ public:
+  FusedOs(const hw::NodeTopology& topo, mem::PhysMemory& phys, IkcChannel channel);
+
+  [[nodiscard]] OsKind kind() const override { return OsKind::kFusedOs; }
+  [[nodiscard]] std::string_view name() const override { return "FusedOS"; }
+  [[nodiscard]] Disposition disposition(Sys s) const override;
+  [[nodiscard]] bool capable(Capability c) const override;
+
+  [[nodiscard]] MmapRet sys_mmap(Process& p, sim::Bytes length, mem::VmaKind kind,
+                                 mem::MemPolicy policy) override;
+
+  [[nodiscard]] sim::TimeNs local_syscall_cost() const override;
+  [[nodiscard]] sim::TimeNs offload_cost(sim::Bytes payload) const override;
+  [[nodiscard]] sim::TimeNs network_syscall_overhead() const override;
+  [[nodiscard]] double network_bw_factor() const override { return 0.80; }
+
+  [[nodiscard]] const NoiseModel& noise() const override { return noise_; }
+  [[nodiscard]] const SchedulerModel& scheduler_model() const override { return sched_; }
+  [[nodiscard]] const PseudoFs& pseudofs() const override { return fs_; }
+  [[nodiscard]] mem::MemCostModel mem_costs() const override { return mem_costs_; }
+
+ protected:
+  [[nodiscard]] std::unique_ptr<mem::HeapEngine> make_heap(Process& p) override;
+  [[nodiscard]] bool fds_proxy_managed() const override { return true; }
+
+ private:
+  IkcChannel channel_;
+  NoiseModel noise_;
+  SchedulerModel sched_;
+  PseudoFs fs_;
+  mem::MemCostModel mem_costs_;
+};
+
+}  // namespace mkos::kernel

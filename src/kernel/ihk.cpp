@@ -1,0 +1,55 @@
+#include "kernel/ihk.hpp"
+
+#include "sim/contracts.hpp"
+
+namespace mkos::kernel {
+
+PartitionResult partition(mem::PhysMemory& phys, const hw::NodeTopology& topo,
+                          const PartitionSpec& spec, sim::Rng& rng) {
+  MKOS_EXPECTS(spec.lwk_cores + spec.linux_cores <= topo.core_count());
+  MKOS_EXPECTS(spec.linux_share >= 0.0 && spec.linux_share < 1.0);
+
+  PartitionResult res;
+  res.lwk_cores = spec.lwk_cores;
+  res.linux_cores = spec.linux_cores;
+
+  for (const auto& d : topo.domains()) {
+    auto& alloc = phys.domain(d.id);
+    // Linux's own footprint (kernel text/data, page tables, daemons). Taken
+    // from the front of each DDR4 domain; MCDRAM is left to the application
+    // side except a small driver slice.
+    const double share = d.kind == hw::MemKind::kDdr4 ? spec.linux_share : 0.002;
+    const sim::Bytes keep = sim::align_up(
+        static_cast<sim::Bytes>(static_cast<double>(d.capacity) * share), 2 * sim::MiB);
+    if (keep > 0) {
+      auto e = alloc.alloc_contiguous(keep, 2 * sim::MiB);
+      if (e.has_value()) {
+        res.linux_reserved += e->length;
+        res.linux_extents.push_back(*e);
+      }
+    }
+    if (spec.late_reservation && d.kind == hw::MemKind::kDdr4) {
+      res.unmovable_pinned +=
+          alloc.pin_unmovable(spec.unmovable_per_domain, spec.unmovable_chunks, rng);
+    }
+  }
+
+  res.largest_extent_per_domain.reserve(topo.domains().size());
+  for (const auto& d : topo.domains()) {
+    res.largest_extent_per_domain.push_back(phys.domain(d.id).largest_free_extent());
+  }
+  return res;
+}
+
+sim::Bytes release_partition(mem::PhysMemory& phys, PartitionResult& result) {
+  sim::Bytes freed = 0;
+  for (const auto& e : result.linux_extents) {
+    phys.domain(e.domain).free(e);
+    freed += e.length;
+  }
+  result.linux_extents.clear();
+  result.linux_reserved -= freed;
+  return freed;
+}
+
+}  // namespace mkos::kernel

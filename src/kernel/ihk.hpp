@@ -1,0 +1,56 @@
+#pragma once
+// IHK — Interface for Heterogeneous Kernels: resource partitioning.
+//
+// IHK "can allocate and release host resources dynamically without rebooting
+// the host machine" but, being a kernel module, it runs *after* Linux has
+// booted: "McKernel has to request [contiguous physical memory blocks] from
+// Linux later, potentially after Linux has already placed unmovable data
+// structures into it." mOS, compiled into Linux, grabs its blocks early.
+//
+// partition() models both: it pins Linux's own boot/runtime footprint, and
+// for the late-reservation path additionally scatters unmovable chunks into
+// every domain, which is what destroys 1 GiB-page contiguity for McKernel.
+
+#include "hw/topology.hpp"
+#include "mem/phys_allocator.hpp"
+#include "sim/rng.hpp"
+
+namespace mkos::kernel {
+
+struct PartitionSpec {
+  int lwk_cores = 64;        ///< cores handed to the LWK
+  int linux_cores = 4;       ///< cores kept by Linux
+  /// Fraction of each domain's memory Linux keeps for itself and daemons.
+  double linux_share = 0.03;
+  /// Late (post-boot) reservation: scatter unmovable chunks (McKernel path).
+  bool late_reservation = false;
+  /// Unmovable footprint scattered per DDR4 domain when late (bytes).
+  sim::Bytes unmovable_per_domain = 192 * sim::MiB;
+  int unmovable_chunks = 24;
+};
+
+struct PartitionResult {
+  int lwk_cores = 0;
+  int linux_cores = 0;
+  sim::Bytes linux_reserved = 0;   ///< memory kept by Linux
+  sim::Bytes unmovable_pinned = 0; ///< fragmentation injected by late boot
+  /// Largest contiguous extent left per domain after partitioning —
+  /// determines 1 GiB page availability for the LWK.
+  std::vector<sim::Bytes> largest_extent_per_domain;
+  /// Extents Linux holds (releasable — IHK "can allocate and release host
+  /// resources dynamically without rebooting the host machine").
+  std::vector<mem::Extent> linux_extents;
+};
+
+/// Apply a partition to a node's physical memory. The LWK subsequently
+/// allocates straight from `phys`; Linux's share is simply marked used.
+[[nodiscard]] PartitionResult partition(mem::PhysMemory& phys,
+                                        const hw::NodeTopology& topo,
+                                        const PartitionSpec& spec, sim::Rng& rng);
+
+/// Release Linux's releasable share back to the pool (the dynamic path —
+/// e.g. shrinking the service partition between jobs). The unmovable pins
+/// stay by definition. Returns the bytes returned to the allocators.
+sim::Bytes release_partition(mem::PhysMemory& phys, PartitionResult& result);
+
+}  // namespace mkos::kernel

@@ -1,0 +1,21 @@
+#include "kernel/ikc.hpp"
+
+#include <cstdlib>
+
+namespace mkos::kernel {
+
+IkcChannel::IkcChannel(IkcCosts costs, int lwk_quadrant, int linux_quadrant)
+    : costs_(costs), hops_(std::abs(lwk_quadrant - linux_quadrant)) {}
+
+sim::TimeNs IkcChannel::one_way(sim::Bytes payload) const {
+  const double copy_ns =
+      static_cast<double>(payload) / (costs_.payload_gbps * 1e9) * 1e9;
+  return costs_.post + costs_.deliver + costs_.per_quadrant_hop * hops_ +
+         sim::from_double_ns(copy_ns);
+}
+
+sim::TimeNs IkcChannel::offload_round_trip(sim::Bytes request, sim::Bytes response) const {
+  return one_way(request) + costs_.proxy_wakeup + one_way(response);
+}
+
+}  // namespace mkos::kernel

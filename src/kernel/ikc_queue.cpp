@@ -1,0 +1,49 @@
+#include "kernel/ikc_queue.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::kernel {
+
+IkcQueue::IkcQueue(sim::EventQueue& events, IkcChannel channel,
+                   sim::TimeNs proxy_service_time)
+    : events_(events), channel_(channel), proxy_service_time_(proxy_service_time) {
+  MKOS_EXPECTS(proxy_service_time >= sim::TimeNs{0});
+}
+
+void IkcQueue::post(sim::Bytes payload, Handler on_complete) {
+  MKOS_EXPECTS(on_complete != nullptr);
+  // Request message travels to the Linux side regardless of proxy state.
+  const sim::TimeNs arrival = channel_.one_way(payload);
+  Request req{payload, events_.now(), std::move(on_complete)};
+  events_.schedule_after(arrival, [this, req = std::move(req)]() mutable {
+    queue_.push_back(std::move(req));
+    if (!proxy_busy_) service_next();
+  });
+}
+
+void IkcQueue::service_next() {
+  if (queue_.empty()) {
+    proxy_busy_ = false;
+    return;
+  }
+  proxy_busy_ = true;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  // Proxy wakeup (only when it was idle is the full wakeup paid; a busy
+  // proxy pipelines) + handler execution + response message.
+  const sim::TimeNs service = channel_.costs().proxy_wakeup + proxy_service_time_;
+  events_.schedule_after(service, [this, req = std::move(req)]() mutable {
+    const sim::TimeNs response = channel_.one_way(64);
+    events_.schedule_after(response, [this, posted = req.posted_at,
+                                      handler = std::move(req.on_complete)]() {
+      ++completed_;
+      worst_latency_ = std::max(worst_latency_, events_.now() - posted);
+      handler(events_.now());
+    });
+    service_next();
+  });
+}
+
+}  // namespace mkos::kernel

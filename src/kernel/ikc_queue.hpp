@@ -1,0 +1,52 @@
+#pragma once
+// Event-driven IKC endpoint: the functional (message-at-a-time) counterpart
+// of IkcChannel's closed-form costs. System-call offloading on McKernel is
+// request/response over this queue: the LWK core posts, the proxy wakes,
+// executes, and responds. Driven by the simulation event queue so tests and
+// micro-benches can observe ordering, queueing delay and backpressure —
+// e.g. many LWK cores offloading simultaneously serialize on the proxy.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "kernel/ikc.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mkos::kernel {
+
+class IkcQueue {
+ public:
+  using Handler = std::function<void(sim::TimeNs completion_time)>;
+
+  /// `proxy_service_time`: Linux-side execution per request (handler body).
+  IkcQueue(sim::EventQueue& events, IkcChannel channel, sim::TimeNs proxy_service_time);
+
+  /// Post an offload request of `payload` bytes; `on_complete` fires (as a
+  /// simulation event) when the response arrives back at the LWK core.
+  void post(sim::Bytes payload, Handler on_complete);
+
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  /// Longest request-to-response latency observed so far.
+  [[nodiscard]] sim::TimeNs worst_latency() const { return worst_latency_; }
+
+ private:
+  struct Request {
+    sim::Bytes payload;
+    sim::TimeNs posted_at;
+    Handler on_complete;
+  };
+
+  void service_next();
+
+  sim::EventQueue& events_;
+  IkcChannel channel_;
+  sim::TimeNs proxy_service_time_;
+  std::deque<Request> queue_;
+  bool proxy_busy_ = false;
+  std::uint64_t completed_ = 0;
+  sim::TimeNs worst_latency_{0};
+};
+
+}  // namespace mkos::kernel

@@ -1,0 +1,77 @@
+#include "kernel/linux_kernel.hpp"
+
+namespace mkos::kernel {
+
+LinuxKernel::LinuxKernel(const hw::NodeTopology& topo, mem::PhysMemory& phys,
+                         LinuxOptions options)
+    : Kernel(topo, phys),
+      options_(options),
+      noise_(options.co_tenant            ? noise_linux_co_tenant()
+             : options.service_core_shared ? noise_linux_service_core()
+             : options.nohz_full           ? noise_linux_nohz_full()
+                                           : noise_linux_service_core()),
+      collective_noise_(options.co_tenant ? noise_linux_collective_tail_co_tenant()
+                                          : noise_linux_collective_tail()),
+      sched_(SchedulerModel::linux_cfs()),
+      fs_(pseudofs_linux()) {
+  // Defaults in MemCostModel are Linux-on-KNL numbers already.
+}
+
+Disposition LinuxKernel::disposition(Sys s) const {
+  (void)s;
+  return Disposition::kLocal;
+}
+
+bool LinuxKernel::capable(Capability c) const {
+  (void)c;
+  return true;  // Linux is the compatibility yardstick by definition
+}
+
+MmapRet LinuxKernel::sys_mmap(Process& p, sim::Bytes length, mem::VmaKind kind,
+                              mem::MemPolicy policy) {
+  count_call(Disposition::kLocal);
+  if (length == 0) return {kEINVAL, local_syscall_cost(), nullptr};
+  mem::Vma& vma = p.address_space().map(length, kind, policy);
+  mem::PlaceRequest req;
+  req.bytes = length;
+  req.policy = policy.mode == mem::PolicyMode::kDefault ? p.mempolicy() : policy;
+  req.home_quadrant = p.home_quadrant();
+  vma.policy = req.policy;
+  const mem::PlaceResult pr = mem::place_linux(topo_, mem_costs_, req, vma, options_.thp);
+  return {kOk, local_syscall_cost() + pr.map_cost, &vma};
+}
+
+SyscallRet LinuxKernel::sys_set_mempolicy(Process& p, mem::MemPolicy policy) {
+  count_call(Disposition::kLocal);
+  // The SNC-4 limitation: PREFERRED takes exactly one domain. A caller that
+  // wants "all four MCDRAM domains preferred" cannot express it (EINVAL),
+  // which is why the paper ran CCS-QCD from DDR4 under Linux.
+  if (policy.mode == mem::PolicyMode::kPreferred && policy.domains.size() != 1) {
+    return {kEINVAL, local_syscall_cost()};
+  }
+  if (p.heap() != nullptr) p.heap()->set_policy(policy);
+  p.set_mempolicy(std::move(policy));
+  return {kOk, local_syscall_cost()};
+}
+
+sim::TimeNs LinuxKernel::local_syscall_cost() const {
+  // KNL's Silvermont-class cores: user->kernel->user plus handler body.
+  return sim::TimeNs{950};
+}
+
+sim::TimeNs LinuxKernel::offload_cost(sim::Bytes payload) const {
+  (void)payload;
+  return sim::TimeNs{0};  // Linux never offloads
+}
+
+sim::TimeNs LinuxKernel::network_syscall_overhead() const {
+  // The device-file write is a normal local syscall on Linux.
+  return local_syscall_cost();
+}
+
+std::unique_ptr<mem::HeapEngine> LinuxKernel::make_heap(Process& p) {
+  return std::make_unique<mem::LinuxHeap>(phys_, topo_, mem_costs_, p.mempolicy(),
+                                          p.home_quadrant());
+}
+
+}  // namespace mkos::kernel

@@ -1,0 +1,64 @@
+#pragma once
+// The Linux baseline (XPPSL / CentOS class kernel on KNL).
+//
+// Everything is local and everything is supported; the costs are the story:
+// demand paging with first-touch faults and zero-page clearing, THP only for
+// large aligned anonymous mappings, a one-preferred-domain NUMA policy, a
+// preemptive scheduler, and residual OS noise even under nohz_full.
+
+#include "kernel/kernel.hpp"
+
+namespace mkos::kernel {
+
+struct LinuxOptions {
+  bool nohz_full = true;   ///< the paper's tuned baseline
+  bool thp = true;         ///< transparent huge pages for large anon maps
+  /// Application ranks share the core that runs system services (the
+  /// 68-core configuration; "often due to CPU 0 running services").
+  bool service_core_shared = false;
+  /// A co-located tenant (analytics/monitoring) runs on the same node —
+  /// on Linux-only nodes it shares the application cores.
+  bool co_tenant = false;
+};
+
+class LinuxKernel final : public Kernel {
+ public:
+  LinuxKernel(const hw::NodeTopology& topo, mem::PhysMemory& phys, LinuxOptions options);
+
+  [[nodiscard]] OsKind kind() const override { return OsKind::kLinux; }
+  [[nodiscard]] std::string_view name() const override { return "Linux"; }
+  [[nodiscard]] Disposition disposition(Sys s) const override;
+  [[nodiscard]] bool capable(Capability c) const override;
+
+  [[nodiscard]] MmapRet sys_mmap(Process& p, sim::Bytes length, mem::VmaKind kind,
+                                 mem::MemPolicy policy) override;
+  [[nodiscard]] SyscallRet sys_set_mempolicy(Process& p, mem::MemPolicy policy) override;
+
+  [[nodiscard]] sim::TimeNs local_syscall_cost() const override;
+  [[nodiscard]] sim::TimeNs offload_cost(sim::Bytes payload) const override;
+  [[nodiscard]] sim::TimeNs network_syscall_overhead() const override;
+  [[nodiscard]] double network_bw_factor() const override { return 1.0; }
+
+  [[nodiscard]] const NoiseModel& noise() const override { return noise_; }
+  [[nodiscard]] const NoiseModel& collective_noise() const override {
+    return collective_noise_;
+  }
+  [[nodiscard]] const SchedulerModel& scheduler_model() const override { return sched_; }
+  [[nodiscard]] const PseudoFs& pseudofs() const override { return fs_; }
+  [[nodiscard]] mem::MemCostModel mem_costs() const override { return mem_costs_; }
+
+  [[nodiscard]] const LinuxOptions& options() const { return options_; }
+
+ protected:
+  [[nodiscard]] std::unique_ptr<mem::HeapEngine> make_heap(Process& p) override;
+
+ private:
+  LinuxOptions options_;
+  NoiseModel noise_;
+  NoiseModel collective_noise_;
+  SchedulerModel sched_;
+  PseudoFs fs_;
+  mem::MemCostModel mem_costs_;
+};
+
+}  // namespace mkos::kernel

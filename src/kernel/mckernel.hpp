@@ -1,0 +1,71 @@
+#pragma once
+// IHK/McKernel: an LWK developed from scratch, booted by IHK, binary
+// compatible with Linux but implementing only performance-sensitive calls
+// locally; everything else is offloaded over IKC to a proxy process on the
+// Linux cores. Stronger isolation than mOS (Linux cannot touch the LWK
+// scheduler) at the price of a larger compatibility re-implementation
+// surface (/proc//sys reimplemented, tools must run on LWK cores).
+
+#include "kernel/ikc.hpp"
+#include "kernel/kernel.hpp"
+
+namespace mkos::kernel {
+
+struct McKernelOptions {
+  bool hpc_brk = true;            ///< Section IV brk() optimizations
+  bool demand_fallback = true;    ///< fall back to demand paging on pressure
+  bool prefer_mcdram = true;      ///< placement spill order MCDRAM -> DDR4
+  bool mpol_shm_premap = false;   ///< --mpol-shm-premap proxy option
+  bool disable_sched_yield = false;  ///< --disable-sched-yield proxy option
+  bool timeshare = false;         ///< optional time sharing on listed cores
+  /// A co-located tenant runs on the *Linux* cores: the LWK cores stay
+  /// silent (strong partitioning) but offloaded calls contend with it.
+  bool co_tenant_on_linux = false;
+  double aggressive_heap_extension = 1.0;
+};
+
+class McKernel final : public Kernel {
+ public:
+  McKernel(const hw::NodeTopology& topo, mem::PhysMemory& phys, IkcChannel ikc,
+           McKernelOptions options);
+
+  [[nodiscard]] OsKind kind() const override { return OsKind::kMcKernel; }
+  [[nodiscard]] std::string_view name() const override { return "McKernel"; }
+  [[nodiscard]] Disposition disposition(Sys s) const override;
+  [[nodiscard]] bool capable(Capability c) const override;
+
+  [[nodiscard]] MmapRet sys_mmap(Process& p, sim::Bytes length, mem::VmaKind kind,
+                                 mem::MemPolicy policy) override;
+
+  [[nodiscard]] sim::TimeNs local_syscall_cost() const override;
+  [[nodiscard]] sim::TimeNs offload_cost(sim::Bytes payload) const override;
+  [[nodiscard]] sim::TimeNs network_syscall_overhead() const override;
+  [[nodiscard]] double network_bw_factor() const override { return 0.82; }
+
+  [[nodiscard]] const NoiseModel& noise() const override { return noise_; }
+  [[nodiscard]] const SchedulerModel& scheduler_model() const override { return sched_; }
+  [[nodiscard]] const PseudoFs& pseudofs() const override { return fs_; }
+  [[nodiscard]] mem::MemCostModel mem_costs() const override { return mem_costs_; }
+
+  [[nodiscard]] const McKernelOptions& options() const { return options_; }
+  [[nodiscard]] const IkcChannel& ikc() const { return ikc_; }
+
+  /// Whether any mapping of this kernel fell back to demand paging (the
+  /// CCS-QCD mechanism the paper's kernel logs revealed).
+  [[nodiscard]] bool demand_fallback_engaged() const { return fallback_engaged_; }
+
+ protected:
+  [[nodiscard]] std::unique_ptr<mem::HeapEngine> make_heap(Process& p) override;
+  [[nodiscard]] bool fds_proxy_managed() const override { return true; }
+
+ private:
+  McKernelOptions options_;
+  IkcChannel ikc_;
+  NoiseModel noise_;
+  SchedulerModel sched_;
+  PseudoFs fs_;
+  mem::MemCostModel mem_costs_;
+  bool fallback_engaged_ = false;
+};
+
+}  // namespace mkos::kernel

@@ -1,0 +1,69 @@
+#pragma once
+// mOS: the LWK compiled directly into Linux. Retains Linux-compatible
+// internal data structures (task_struct), so system-call offloading is
+// implemented by *migrating the issuing thread* to a Linux core, running the
+// call there, and migrating back — no proxy process, no message channel.
+// Pseudo-filesystems and ptrace are mostly reused from Linux; fork() is not
+// fully implemented yet (the LTP cascade of Section III-D). Memory is
+// grabbed early at boot (contiguous) and divided across LWK processes at
+// job launch (rigid: "Only physically available memory can be allocated").
+
+#include "kernel/kernel.hpp"
+
+namespace mkos::kernel {
+
+struct MosOptions {
+  bool hpc_brk = true;          ///< runtime-toggleable (Table I rows)
+  bool prefer_mcdram = true;
+  /// Divide reserved MCDRAM between ranks at launch (NUMA-respecting).
+  bool partition_mcdram_per_rank = true;
+  /// A co-located tenant runs on the Linux cores (see McKernelOptions).
+  bool co_tenant_on_linux = false;
+};
+
+class Mos final : public Kernel {
+ public:
+  Mos(const hw::NodeTopology& topo, mem::PhysMemory& phys, MosOptions options);
+
+  [[nodiscard]] OsKind kind() const override { return OsKind::kMos; }
+  [[nodiscard]] std::string_view name() const override { return "mOS"; }
+  [[nodiscard]] Disposition disposition(Sys s) const override;
+  [[nodiscard]] bool capable(Capability c) const override;
+
+  [[nodiscard]] MmapRet sys_mmap(Process& p, sim::Bytes length, mem::VmaKind kind,
+                                 mem::MemPolicy policy) override;
+  [[nodiscard]] SyscallRet sys_fork(Process& p) override;
+
+  [[nodiscard]] sim::TimeNs local_syscall_cost() const override;
+  [[nodiscard]] sim::TimeNs offload_cost(sim::Bytes payload) const override;
+  [[nodiscard]] sim::TimeNs network_syscall_overhead() const override;
+  [[nodiscard]] double network_bw_factor() const override { return 0.88; }
+
+  [[nodiscard]] const NoiseModel& noise() const override { return noise_; }
+  [[nodiscard]] const SchedulerModel& scheduler_model() const override { return sched_; }
+  [[nodiscard]] const PseudoFs& pseudofs() const override { return fs_; }
+  [[nodiscard]] mem::MemCostModel mem_costs() const override { return mem_costs_; }
+
+  [[nodiscard]] const MosOptions& options() const { return options_; }
+
+  /// Thread-migration cost components (exposed for the micro-bench).
+  [[nodiscard]] sim::TimeNs migrate_to_linux() const { return sim::TimeNs{1250}; }
+  [[nodiscard]] sim::TimeNs migrate_back() const { return sim::TimeNs{1050}; }
+  /// The migrated thread returns with cold L1/L2/TLB state on its LWK core;
+  /// on syscall-hot paths this recurring refill cost is why mOS trails even
+  /// McKernel on LAMMPS at scale ("We are still investigating the reasons
+  /// for mOS" — modeled as cache disturbance, the leading suspect).
+  [[nodiscard]] sim::TimeNs cache_refill_penalty() const { return sim::TimeNs{2000}; }
+
+ protected:
+  [[nodiscard]] std::unique_ptr<mem::HeapEngine> make_heap(Process& p) override;
+
+ private:
+  MosOptions options_;
+  NoiseModel noise_;
+  SchedulerModel sched_;
+  PseudoFs fs_;
+  mem::MemCostModel mem_costs_;
+};
+
+}  // namespace mkos::kernel

@@ -1,0 +1,139 @@
+#include "kernel/noise.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::kernel {
+
+NoiseModel::NoiseModel(std::vector<NoiseComponent> components)
+    : components_(std::move(components)) {}
+
+NoiseModel& NoiseModel::add(NoiseComponent c) {
+  components_.push_back(std::move(c));
+  return *this;
+}
+
+double NoiseModel::expected_fraction() const {
+  double f = 0.0;
+  for (const auto& c : components_) {
+    double mean_ns = static_cast<double>(c.duration.ns());
+    if (c.dist == NoiseComponent::Dist::kPareto) {
+      // Mean of Pareto(xm, alpha) = xm * alpha / (alpha - 1) for alpha > 1;
+      // with a cap the truncated mean is bounded — approximate with the cap.
+      if (c.pareto_alpha > 1.0) {
+        mean_ns = static_cast<double>(c.duration.ns()) * c.pareto_alpha / (c.pareto_alpha - 1.0);
+      } else {
+        mean_ns = static_cast<double>(c.cap.ns() > 0 ? c.cap.ns() : c.duration.ns() * 100);
+      }
+      if (c.cap.ns() > 0) mean_ns = std::min(mean_ns, static_cast<double>(c.cap.ns()));
+    }
+    f += c.rate_hz * mean_ns * 1e-9;
+  }
+  return f;
+}
+
+sim::TimeNs NoiseModel::sample(sim::TimeNs span, sim::Rng& rng) const {
+  MKOS_EXPECTS(span >= sim::TimeNs{0});
+  sim::TimeNs stolen{0};
+  const double span_s = span.sec();
+  for (const auto& c : components_) {
+    const std::uint64_t n = rng.poisson(c.rate_hz * span_s);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      double d_ns;
+      switch (c.dist) {
+        case NoiseComponent::Dist::kFixed:
+          d_ns = static_cast<double>(c.duration.ns());
+          break;
+        case NoiseComponent::Dist::kExponential:
+          d_ns = rng.exponential(static_cast<double>(c.duration.ns()));
+          break;
+        case NoiseComponent::Dist::kPareto:
+          d_ns = rng.pareto(static_cast<double>(c.duration.ns()), c.pareto_alpha);
+          break;
+        default:
+          d_ns = 0;
+      }
+      if (c.cap.ns() > 0) d_ns = std::min(d_ns, static_cast<double>(c.cap.ns()));
+      stolen += sim::from_double_ns(d_ns);
+    }
+  }
+  return stolen;
+}
+
+NoiseModel noise_lwk() {
+  // IKC interrupt handling and the odd management poke; sub-microsecond
+  // detours at a few hertz: ~0.0002% stolen.
+  return NoiseModel{{
+      NoiseComponent{"ikc-irq", 2.0, sim::TimeNs{800}, NoiseComponent::Dist::kExponential,
+                     1.5, sim::TimeNs{0}},
+  }};
+}
+
+NoiseModel noise_lwk_mos() {
+  NoiseModel m = noise_lwk();
+  // Rare stray Linux task reaching an LWK core before eviction.
+  m.add(NoiseComponent{"stray-task", 0.02, sim::microseconds(8),
+                       NoiseComponent::Dist::kExponential, 1.5, sim::TimeNs{0}});
+  return m;
+}
+
+NoiseModel noise_linux_nohz_full() {
+  return NoiseModel{{
+      // Residual per-core housekeeping that nohz_full does not remove:
+      // deferred RCU, vmstat updates, clocksource watchdog.
+      NoiseComponent{"housekeeping", 25.0, sim::microseconds(4),
+                     NoiseComponent::Dist::kExponential, 1.5, sim::TimeNs{0}},
+      // kworker items (writeback, timers migrated late).
+      NoiseComponent{"kworker", 1.2, sim::microseconds(30),
+                     NoiseComponent::Dist::kExponential, 1.5, sim::TimeNs{0}},
+      // Daemon tail: cgroup accounting walks, page-cache flushes. Bounded —
+      // these detours dilate long compute phases by a few percent at scale.
+      NoiseComponent{"daemon-tail", 0.00005, sim::microseconds(700),
+                     NoiseComponent::Dist::kPareto, 1.5, sim::milliseconds(2.5)},
+  }};
+}
+
+NoiseModel noise_linux_collective_tail() {
+  // Interference that couples to blocking collectives: a rank descheduled
+  // mid-allreduce (IRQ storms, kswapd bursts, MPI progression starvation)
+  // stalls the whole dependency tree, and the lengthened collective is
+  // exposed to the *next* such event — the runaway that makes Linux
+  // collapse at extreme concurrency (Fig. 5b) while long compute windows
+  // barely notice. Modeled separately from the per-core compute noise and
+  // consumed only by the collective cost model.
+  return NoiseModel{{
+      NoiseComponent{"collective-stall", 0.004, sim::milliseconds(5.5),
+                     NoiseComponent::Dist::kExponential, 1.5, sim::milliseconds(22)},
+  }};
+}
+
+NoiseModel noise_linux_co_tenant() {
+  NoiseModel m = noise_linux_nohz_full();
+  // The tenant's threads and page-cache traffic periodically preempt the
+  // application ("achieving performance isolation with lightweight
+  // co-kernels" is the counter-design).
+  m.add(NoiseComponent{"tenant-preempt", 12.0, sim::microseconds(180),
+                       NoiseComponent::Dist::kExponential, 1.5, sim::TimeNs{0}});
+  m.add(NoiseComponent{"tenant-burst", 0.5, sim::milliseconds(1.5),
+                       NoiseComponent::Dist::kPareto, 1.4, sim::milliseconds(20)});
+  return m;
+}
+
+NoiseModel noise_linux_collective_tail_co_tenant() {
+  NoiseModel m = noise_linux_collective_tail();
+  m.add(NoiseComponent{"tenant-stall", 0.02, sim::milliseconds(5.0),
+                       NoiseComponent::Dist::kExponential, 1.5, sim::milliseconds(22)});
+  return m;
+}
+
+NoiseModel noise_linux_service_core() {
+  NoiseModel m = noise_linux_nohz_full();
+  m.add(NoiseComponent{"services", 40.0, sim::microseconds(120),
+                       NoiseComponent::Dist::kExponential, 1.5, sim::TimeNs{0}});
+  m.add(NoiseComponent{"service-tail", 0.8, sim::milliseconds(2),
+                       NoiseComponent::Dist::kPareto, 1.3, sim::milliseconds(40)});
+  return m;
+}
+
+}  // namespace mkos::kernel

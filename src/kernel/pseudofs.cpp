@@ -1,0 +1,90 @@
+#include "kernel/pseudofs.hpp"
+
+#include <algorithm>
+
+namespace mkos::kernel {
+
+std::string_view to_string(FsProvider p) {
+  switch (p) {
+    case FsProvider::kNative: return "native";
+    case FsProvider::kReusedLinux: return "reused-linux";
+    case FsProvider::kReimplemented: return "reimplemented";
+    case FsProvider::kMissing: return "missing";
+  }
+  return "?";
+}
+
+PseudoFs::PseudoFs(std::vector<Entry> entries) : entries_(std::move(entries)) {}
+
+FsProvider PseudoFs::provider(std::string_view path) const {
+  const Entry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (path.substr(0, e.prefix.size()) == e.prefix) {
+      if (best == nullptr || e.prefix.size() > best->prefix.size()) best = &e;
+    }
+  }
+  return best == nullptr ? FsProvider::kMissing : best->provider;
+}
+
+const std::vector<std::string>& PseudoFs::canonical_paths() {
+  static const std::vector<std::string> paths = {
+      "/proc/self/maps",       "/proc/self/status",     "/proc/self/stat",
+      "/proc/self/numa_maps",  "/proc/self/task",       "/proc/self/environ",
+      "/proc/self/smaps",      "/proc/self/cmdline",    "/proc/self/fd",
+      "/proc/cpuinfo",         "/proc/meminfo",         "/proc/stat",
+      "/proc/loadavg",         "/proc/interrupts",      "/proc/vmstat",
+      "/proc/sys/vm/overcommit_memory", "/proc/sys/kernel/pid_max",
+      "/sys/devices/system/cpu",        "/sys/devices/system/node",
+      "/sys/kernel/mm/hugepages",       "/sys/kernel/mm/transparent_hugepage",
+      "/sys/class/infiniband",          "/sys/fs/cgroup",
+  };
+  return paths;
+}
+
+double PseudoFs::coverage() const {
+  const auto& paths = canonical_paths();
+  const auto readable_count = std::count_if(
+      paths.begin(), paths.end(), [&](const std::string& p) { return readable(p); });
+  return static_cast<double>(readable_count) / static_cast<double>(paths.size());
+}
+
+PseudoFs pseudofs_linux() {
+  return PseudoFs{{
+      {"/proc", FsProvider::kNative},
+      {"/sys", FsProvider::kNative},
+  }};
+}
+
+PseudoFs pseudofs_mckernel() {
+  // McKernel re-implements the partition-reflecting families HPC runtimes
+  // need; process-introspection corners and cgroup/infiniband trees lag.
+  return PseudoFs{{
+      {"/proc/self/maps", FsProvider::kReimplemented},
+      {"/proc/self/status", FsProvider::kReimplemented},
+      {"/proc/self/stat", FsProvider::kReimplemented},
+      {"/proc/self/task", FsProvider::kReimplemented},
+      {"/proc/self/cmdline", FsProvider::kReimplemented},
+      {"/proc/self/numa_maps", FsProvider::kReimplemented},
+      {"/proc/cpuinfo", FsProvider::kReimplemented},
+      {"/proc/meminfo", FsProvider::kReimplemented},
+      {"/proc/stat", FsProvider::kReimplemented},
+      {"/sys/devices/system/cpu", FsProvider::kReimplemented},
+      {"/sys/devices/system/node", FsProvider::kReimplemented},
+      {"/sys/kernel/mm/hugepages", FsProvider::kReimplemented},
+      // Everything else (environ, smaps, fd, interrupts, vmstat, loadavg,
+      // /proc/sys, cgroup, infiniband, THP) is absent on the LWK side.
+  }};
+}
+
+PseudoFs pseudofs_mos() {
+  // mOS: "mostly reuses the Linux implementation"; partition-specific CPU
+  // and node listings are adjusted, everything else is Linux's.
+  return PseudoFs{{
+      {"/proc", FsProvider::kReusedLinux},
+      {"/sys", FsProvider::kReusedLinux},
+      {"/sys/devices/system/cpu", FsProvider::kReimplemented},
+      {"/sys/devices/system/node", FsProvider::kReimplemented},
+  }};
+}
+
+}  // namespace mkos::kernel

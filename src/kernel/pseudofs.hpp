@@ -1,0 +1,56 @@
+#pragma once
+// Pseudo-filesystem (/proc, /sys) coverage model.
+//
+// "Full Linux compatibility requires ... mimicking the complex and ever
+// changing pseudo file systems." The design split the paper highlights:
+// McKernel must *reimplement* /proc//sys files to reflect the LWK's resource
+// partition (and inevitably lags), while mOS "mostly reuses the Linux
+// implementation". Tools support (profilers, debuggers) keys off this.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mkos::kernel {
+
+enum class FsProvider : std::uint8_t {
+  kNative,         ///< the kernel's own first-class implementation
+  kReusedLinux,    ///< served by the Linux side (mOS path)
+  kReimplemented,  ///< LWK re-implementation reflecting the partition
+  kMissing,        ///< open() fails
+};
+
+[[nodiscard]] std::string_view to_string(FsProvider p);
+
+class PseudoFs {
+ public:
+  struct Entry {
+    std::string prefix;   ///< path family, longest-prefix matched
+    FsProvider provider;
+  };
+
+  explicit PseudoFs(std::vector<Entry> entries);
+
+  /// Provider for a path (longest matching prefix; kMissing if none).
+  [[nodiscard]] FsProvider provider(std::string_view path) const;
+  [[nodiscard]] bool readable(std::string_view path) const {
+    return provider(path) != FsProvider::kMissing;
+  }
+
+  /// Fraction of the canonical path-family list that is readable.
+  [[nodiscard]] double coverage() const;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The canonical list of families tools and runtimes touch.
+  [[nodiscard]] static const std::vector<std::string>& canonical_paths();
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+[[nodiscard]] PseudoFs pseudofs_linux();
+[[nodiscard]] PseudoFs pseudofs_mckernel();
+[[nodiscard]] PseudoFs pseudofs_mos();
+
+}  // namespace mkos::kernel

@@ -1,0 +1,78 @@
+#include "kernel/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::kernel {
+
+CoopScheduler::CoopScheduler(SchedulerModel model) : model_(model) {}
+
+int CoopScheduler::add_task(Task task) {
+  MKOS_EXPECTS(task != nullptr);
+  const int id = next_id_++;
+  queue_.emplace_back(id, std::move(task));
+  return id;
+}
+
+sim::TimeNs CoopScheduler::run_to_completion() {
+  sim::TimeNs total{0};
+  bool first = true;
+  while (!queue_.empty()) {
+    auto [id, task] = std::move(queue_.front());
+    queue_.pop_front();
+    if (!first) {
+      total += model_.context_switch;
+      ++switches_;
+    }
+    first = false;
+    const Burst b = task();
+    MKOS_ASSERT(b.duration >= sim::TimeNs{0});
+    total += b.duration;
+    if (b.done) {
+      ++completed_;
+      completion_order_.push_back(id);
+    } else {
+      queue_.emplace_back(id, std::move(task));
+    }
+  }
+  return total;
+}
+
+TimeShareScheduler::TimeShareScheduler(SchedulerModel model, sim::TimeNs quantum)
+    : model_(model), quantum_(quantum) {
+  MKOS_EXPECTS(quantum > sim::TimeNs{0});
+}
+
+int TimeShareScheduler::add_task(sim::TimeNs total_work) {
+  MKOS_EXPECTS(total_work > sim::TimeNs{0});
+  remaining_.push_back(total_work);
+  return static_cast<int>(remaining_.size()) - 1;
+}
+
+std::vector<sim::TimeNs> TimeShareScheduler::run() {
+  std::vector<sim::TimeNs> done(remaining_.size(), sim::TimeNs{0});
+  sim::TimeNs clock{0};
+  std::size_t live = remaining_.size();
+  bool first = true;
+  while (live > 0) {
+    for (std::size_t i = 0; i < remaining_.size(); ++i) {
+      if (remaining_[i].ns() == 0) continue;
+      if (!first) {
+        clock += model_.context_switch;
+        ++preemptions_;
+      }
+      first = false;
+      const sim::TimeNs slice = std::min(remaining_[i], quantum_);
+      clock += slice;
+      remaining_[i] -= slice;
+      if (remaining_[i].ns() == 0) {
+        done[i] = clock;
+        --live;
+      }
+    }
+  }
+  return done;
+}
+
+}  // namespace mkos::kernel

@@ -1,0 +1,65 @@
+#pragma once
+// The system-call surface the models and the compatibility suite reason
+// about. Not the full Linux table — the subset the paper's discussion and
+// the LTP results turn on, plus the families HPC applications exercise.
+
+#include <cstdint>
+#include <string_view>
+
+namespace mkos::kernel {
+
+enum class Sys : std::uint16_t {
+  // Memory management (performance sensitive; both LWKs implement locally).
+  kBrk, kMmap, kMunmap, kMprotect, kMremap, kMadvise,
+  kSetMempolicy, kGetMempolicy, kMbind, kMovePages, kMigratePages,
+  kMlock, kMunlock, kShmget, kShmat, kShmdt,
+  // Process / thread.
+  kClone, kFork, kVfork, kExecve, kExit, kExitGroup, kWait4, kWaitid,
+  kGetpid, kGettid, kGetppid, kKill, kTkill, kTgkill,
+  kRtSigaction, kRtSigprocmask, kRtSigreturn, kSigaltstack,
+  kSchedYield, kSchedSetaffinity, kSchedGetaffinity,
+  kSchedSetscheduler, kSchedGetscheduler, kSetpriority, kGetpriority,
+  kPtrace, kPrctl, kArchPrctl, kSetTidAddress, kFutex,
+  kGetrlimit, kSetrlimit, kGetrusage, kTimes,
+  // Files & I/O (offloaded by both LWKs).
+  kOpen, kOpenat, kClose, kRead, kWrite, kPread64, kPwrite64,
+  kReadv, kWritev, kLseek, kStat, kFstat, kLstat, kAccess,
+  kDup, kDup2, kPipe, kFcntl, kIoctl, kMknod, kUnlink, kRename,
+  kMkdir, kRmdir, kGetdents, kChdir, kGetcwd, kReadlink,
+  kChmod, kChown, kUmask, kTruncate, kFtruncate, kFsync, kStatfs,
+  // Networking (offloaded; the Omni-Path device path goes through these).
+  kSocket, kConnect, kAccept, kBind, kListen, kSendto, kRecvfrom,
+  kSendmsg, kRecvmsg, kShutdown, kGetsockname, kGetsockopt, kSetsockopt,
+  kPoll, kSelect, kEpollCreate, kEpollCtl, kEpollWait,
+  // Time & misc.
+  kGettimeofday, kClockGettime, kClockNanosleep, kNanosleep, kAlarm,
+  kTimerCreate, kTimerSettime, kGetitimer, kSetitimer,
+  kUname, kSysinfo, kGetuid, kGetgid, kGeteuid, kGetegid,
+  kSetuid, kSetgid, kCapget, kCapset,
+  kPerfEventOpen,
+
+  kCount_,
+};
+
+constexpr std::size_t kSysCount = static_cast<std::size_t>(Sys::kCount_);
+
+[[nodiscard]] std::string_view sys_name(Sys s);
+
+/// How a kernel handles a system call.
+enum class Disposition : std::uint8_t {
+  kLocal,        ///< implemented in this kernel
+  kOffloaded,    ///< forwarded to the Linux side (proxy / thread migration)
+  kPartial,      ///< implemented with semantic deviations (some LTP tests fail)
+  kUnsupported,  ///< returns ENOSYS
+};
+
+[[nodiscard]] std::string_view to_string(Disposition d);
+
+/// Errno values used by the functional layer.
+inline constexpr int kOk = 0;
+inline constexpr int kEPERM = 1;
+inline constexpr int kENOMEM = 12;
+inline constexpr int kEINVAL = 22;
+inline constexpr int kENOSYS = 38;
+
+}  // namespace mkos::kernel

@@ -1,0 +1,123 @@
+#pragma once
+// Per-process virtual memory: VMAs, physical placement records, residency
+// accounting. The executor asks an address space "what fraction of this
+// process's working set sits in MCDRAM?" — the answer drives the roofline
+// compute model, so placement records are exact, not sampled.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "mem/numa_policy.hpp"
+#include "mem/page.hpp"
+#include "mem/phys_allocator.hpp"
+
+namespace mkos::mem {
+
+enum class VmaKind : std::uint8_t { kText, kBss, kHeap, kStack, kAnon, kShm, kFile };
+
+[[nodiscard]] constexpr const char* to_string(VmaKind k) {
+  switch (k) {
+    case VmaKind::kText: return "text";
+    case VmaKind::kBss: return "bss";
+    case VmaKind::kHeap: return "heap";
+    case VmaKind::kStack: return "stack";
+    case VmaKind::kAnon: return "anon";
+    case VmaKind::kShm: return "shm";
+    case VmaKind::kFile: return "file";
+  }
+  return "?";
+}
+
+/// Where a mapping's resident pages physically live.
+class Placement {
+ public:
+  struct Chunk {
+    hw::DomainId domain;
+    PageSize page;
+    sim::Bytes bytes;
+  };
+
+  void add(hw::DomainId domain, PageSize page, sim::Bytes bytes);
+  void clear();
+
+  [[nodiscard]] sim::Bytes total() const { return total_; }
+  [[nodiscard]] sim::Bytes bytes_in_kind(const hw::NodeTopology& topo, hw::MemKind kind) const;
+  [[nodiscard]] double fraction_in_kind(const hw::NodeTopology& topo, hw::MemKind kind) const;
+  [[nodiscard]] sim::Bytes bytes_with_page(PageSize p) const;
+  [[nodiscard]] const std::vector<Chunk>& chunks() const { return chunks_; }
+
+ private:
+  std::vector<Chunk> chunks_;
+  sim::Bytes total_ = 0;
+};
+
+/// Protection bits (PROT_* subset).
+inline constexpr int kProtRead = 1;
+inline constexpr int kProtWrite = 2;
+inline constexpr int kProtExec = 4;
+
+struct Vma {
+  sim::Bytes start = 0;
+  sim::Bytes length = 0;
+  VmaKind kind = VmaKind::kAnon;
+  MemPolicy policy;
+  int prot = kProtRead | kProtWrite;
+
+  Placement placement;          ///< physically backed portion
+  std::vector<Extent> extents;  ///< owned physical extents (freed on unmap)
+  PageSize touch_page = PageSize::k4K;  ///< granule used for demand faults
+  bool demand_paged = false;    ///< unbacked remainder faults on first touch
+  /// Demand faults walk the LWK spill order (MCDRAM-first) instead of the
+  /// Linux policy order — McKernel's demand-paging fallback.
+  bool touch_lwk_order = false;
+  std::uint64_t fault_count = 0;
+
+  [[nodiscard]] sim::Bytes end() const { return start + length; }
+  [[nodiscard]] sim::Bytes backed() const { return placement.total(); }
+  [[nodiscard]] sim::Bytes unbacked() const { return length - backed(); }
+};
+
+class AddressSpace {
+ public:
+  AddressSpace();
+
+  /// Create a VMA of `length` bytes (rounded up to 4 KiB). The address is
+  /// assigned from the mmap region. Returns a stable reference.
+  Vma& map(sim::Bytes length, VmaKind kind, MemPolicy policy);
+
+  /// Remove the VMA starting at `start`; returns it (with its extents) so
+  /// the kernel can return physical memory. nullopt when no such VMA.
+  std::optional<Vma> unmap(sim::Bytes start);
+
+  [[nodiscard]] Vma* find(sim::Bytes addr);
+  [[nodiscard]] const Vma* find(sim::Bytes addr) const;
+
+  [[nodiscard]] std::size_t vma_count() const { return vmas_.size(); }
+
+  /// Iterate over all VMAs (ordered by start address).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [start, vma] : vmas_) f(vma);
+  }
+  template <typename F>
+  void for_each(F&& f) {
+    for (auto& [start, vma] : vmas_) f(vma);
+  }
+
+  [[nodiscard]] sim::Bytes resident_bytes() const;
+  [[nodiscard]] sim::Bytes mapped_bytes() const;
+  [[nodiscard]] sim::Bytes resident_in_kind(const hw::NodeTopology& topo,
+                                            hw::MemKind kind) const;
+  [[nodiscard]] double resident_fraction_in_kind(const hw::NodeTopology& topo,
+                                                 hw::MemKind kind) const;
+  [[nodiscard]] std::uint64_t total_faults() const;
+
+ private:
+  std::map<sim::Bytes, Vma> vmas_;  // start -> vma
+  sim::Bytes mmap_cursor_;
+};
+
+}  // namespace mkos::mem

@@ -1,0 +1,126 @@
+#pragma once
+// Heap (brk/sbrk) engines.
+//
+// The paper's Table I and the Lulesh discussion (Section IV) hinge on brk()
+// semantics:
+//
+//   Linux      — page-granular break; shrink returns memory to the system;
+//                growth maps the zero page and charges a fault + clear on
+//                first write; large pages only when the break happens to be
+//                2 MiB aligned *and* the request is large enough.
+//   LWK (HPC)  — heap aligned to 2 MiB; grows in 2 MiB increments; shrink
+//                requests ignored; physical pages allocated at brk() time;
+//                on growth only the first 4 KiB of a fresh 2 MiB page is
+//                zeroed (the AMG workaround); no faults ever reach the app.
+//
+// LwkHeap has an `hpc_mode` toggle: when off it reproduces the Linux
+// behaviour while keeping the surrounding LWK benefits — this is exactly the
+// "mOS, heap management disabled" row of Table I.
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/placement.hpp"
+#include "mem/phys_allocator.hpp"
+
+namespace mkos::mem {
+
+struct HeapStats {
+  std::uint64_t queries = 0;     ///< sbrk(0)
+  std::uint64_t grows = 0;       ///< positive increments
+  std::uint64_t shrinks = 0;     ///< negative increments
+  sim::Bytes current = 0;        ///< break offset from heap base
+  sim::Bytes max_break = 0;      ///< high-water mark
+  sim::Bytes cum_growth = 0;     ///< sum of all positive increments
+  std::uint64_t faults = 0;      ///< faults taken on heap pages
+  sim::Bytes zeroed = 0;         ///< bytes cleared on behalf of the app
+
+  [[nodiscard]] std::uint64_t calls() const { return queries + grows + shrinks; }
+};
+
+class HeapEngine {
+ public:
+  virtual ~HeapEngine() = default;
+
+  /// sbrk(delta): delta == 0 queries, > 0 grows, < 0 shrinks (clamped at 0).
+  /// Returns the cost of the call itself (syscall + any mapping work).
+  virtual sim::TimeNs sbrk(std::int64_t delta) = 0;
+
+  /// Cost of the application touching every byte grown since the last call
+  /// (page faults + zeroing for demand-paged heaps; zero for HPC heaps).
+  /// `concurrent_faulters`: ranks on this node concurrently in the fault path.
+  virtual sim::TimeNs touch_new(int concurrent_faulters) = 0;
+
+  /// The process changed its NUMA policy (set_mempolicy); demand-paged heaps
+  /// place subsequent faults accordingly. Default: ignored.
+  virtual void set_policy(const MemPolicy& policy) { (void)policy; }
+
+  [[nodiscard]] const HeapStats& stats() const { return stats_; }
+
+ protected:
+  HeapStats stats_;
+};
+
+/// Linux brk(): demand-paged 4 KiB heap.
+class LinuxHeap final : public HeapEngine {
+ public:
+  LinuxHeap(PhysMemory& phys, const hw::NodeTopology& topo, MemCostModel cost,
+            MemPolicy policy, int home_quadrant);
+
+  sim::TimeNs sbrk(std::int64_t delta) override;
+  sim::TimeNs touch_new(int concurrent_faulters) override;
+  void set_policy(const MemPolicy& policy) override { policy_ = policy; }
+
+  /// Physically backed (faulted-in) heap bytes.
+  [[nodiscard]] sim::Bytes backed() const { return placement_.total(); }
+  [[nodiscard]] const Placement& placement() const { return placement_; }
+
+ private:
+  PhysMemory& phys_;
+  const hw::NodeTopology& topo_;
+  MemCostModel cost_;
+  MemPolicy policy_;
+  int home_quadrant_;
+  Placement placement_;
+  std::vector<Extent> extents_;
+};
+
+struct LwkHeapOptions {
+  bool hpc_mode = true;        ///< the brk() optimizations of Section IV
+  bool prefer_mcdram = true;   ///< heap placement order
+  bool zero_first_4k_only = true;  ///< the AMG-bug workaround
+  sim::Bytes growth_granule = 2 * sim::MiB;
+  /// "Aggressively extend the heap": each physical growth over-allocates by
+  /// this factor so subsequent brk() calls are satisfied without allocation.
+  double aggressive_extension = 1.0;
+};
+
+/// LWK brk(): upfront physical backing, 2 MiB granularity, shrinks ignored.
+class LwkHeap final : public HeapEngine {
+ public:
+  LwkHeap(PhysMemory& phys, const hw::NodeTopology& topo, MemCostModel cost,
+          LwkHeapOptions options, int home_quadrant);
+
+  sim::TimeNs sbrk(std::int64_t delta) override;
+  sim::TimeNs touch_new(int concurrent_faulters) override;
+
+  [[nodiscard]] const LwkHeapOptions& options() const { return options_; }
+  /// Physically backed extent of the heap (>= stats().current in HPC mode).
+  [[nodiscard]] sim::Bytes backed() const { return backed_; }
+  [[nodiscard]] const Placement& placement() const { return placement_; }
+
+ private:
+  sim::TimeNs grow_backing(sim::Bytes target);
+
+  PhysMemory& phys_;
+  const hw::NodeTopology& topo_;
+  MemCostModel cost_;
+  LwkHeapOptions options_;
+  int home_quadrant_;
+  sim::Bytes backed_ = 0;
+  sim::Bytes untouched_ = 0;  ///< only used when hpc_mode is off
+  Placement placement_;
+  std::vector<Extent> extents_;
+};
+
+}  // namespace mkos::mem

@@ -1,0 +1,41 @@
+#pragma once
+// NUMA memory policies, mirroring the Linux set_mempolicy() modes.
+//
+// The reproduction-critical constraint is encoded here: Linux's PREFERRED
+// mode accepts exactly ONE domain ("In SNC-4 mode, four such domains exist,
+// but the current Linux implementation allows only one to be listed",
+// paper Section III-C). The LWKs' transparent MCDRAM->DDR4 spill is not a
+// policy the application sets — it is kernel placement behaviour.
+
+#include <vector>
+
+#include "hw/topology.hpp"
+
+namespace mkos::mem {
+
+enum class PolicyMode : std::uint8_t {
+  kDefault,     ///< local allocation (home quadrant first)
+  kBind,        ///< strictly from the listed domains; ENOMEM when exhausted
+  kPreferred,   ///< one preferred domain, then the SLIT fallback order
+  kInterleave,  ///< round-robin across the listed domains
+};
+
+struct MemPolicy {
+  PolicyMode mode = PolicyMode::kDefault;
+  std::vector<hw::DomainId> domains;
+
+  [[nodiscard]] static MemPolicy standard() { return {}; }
+  [[nodiscard]] static MemPolicy bind(std::vector<hw::DomainId> ds) {
+    return {PolicyMode::kBind, std::move(ds)};
+  }
+  [[nodiscard]] static MemPolicy preferred(hw::DomainId d) {
+    return {PolicyMode::kPreferred, {d}};
+  }
+  [[nodiscard]] static MemPolicy interleave(std::vector<hw::DomainId> ds) {
+    return {PolicyMode::kInterleave, std::move(ds)};
+  }
+
+  friend bool operator==(const MemPolicy&, const MemPolicy&) = default;
+};
+
+}  // namespace mkos::mem

@@ -1,0 +1,38 @@
+#pragma once
+// Page sizes. Both LWKs use large pages "whenever and wherever possible,
+// e.g. even on the stack, using 1 GB pages if the size of the mapping
+// allows it" (paper Section II-D3); Linux is limited to 4 KB plus THP.
+
+#include <cstdint>
+
+#include "sim/units.hpp"
+
+namespace mkos::mem {
+
+enum class PageSize : std::uint8_t { k4K, k2M, k1G };
+
+[[nodiscard]] constexpr sim::Bytes page_bytes(PageSize p) {
+  switch (p) {
+    case PageSize::k4K: return 4 * sim::KiB;
+    case PageSize::k2M: return 2 * sim::MiB;
+    case PageSize::k1G: return sim::GiB;
+  }
+  return 4 * sim::KiB;
+}
+
+[[nodiscard]] constexpr const char* to_string(PageSize p) {
+  switch (p) {
+    case PageSize::k4K: return "4K";
+    case PageSize::k2M: return "2M";
+    case PageSize::k1G: return "1G";
+  }
+  return "?";
+}
+
+/// Number of pages of size `p` covering `bytes` (rounded up).
+[[nodiscard]] constexpr std::uint64_t pages_for(sim::Bytes bytes, PageSize p) {
+  const sim::Bytes pb = page_bytes(p);
+  return (bytes + pb - 1) / pb;
+}
+
+}  // namespace mkos::mem

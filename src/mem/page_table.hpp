@@ -1,0 +1,37 @@
+#pragma once
+// Page-table shape accounting (x86-64 four-level layout).
+//
+// Large pages do not only save TLB misses — they shrink the page tables
+// themselves: backing 96 GiB with 4 KiB PTEs costs ~188 MiB of page-table
+// pages and four-level walks, while 1 GiB mappings terminate at the PDPT.
+// The LWKs' "map physically contiguous memory upfront ... using 1 GB pages
+// if the size of the mapping allows it" therefore also buys shorter walks
+// and near-zero table overhead. This module turns a Placement into table
+// statistics (pages consumed per level, bytes of table memory, walk depth).
+
+#include "mem/address_space.hpp"
+
+namespace mkos::mem {
+
+struct PageTableStats {
+  std::uint64_t pte_tables = 0;   ///< level-1 tables (4 KiB leaves)
+  std::uint64_t pd_tables = 0;    ///< level-2 tables (2 MiB leaves or PTE dirs)
+  std::uint64_t pdpt_tables = 0;  ///< level-3 tables (1 GiB leaves or PD dirs)
+  std::uint64_t pml4_tables = 1;  ///< root
+
+  [[nodiscard]] std::uint64_t total_tables() const {
+    return pte_tables + pd_tables + pdpt_tables + pml4_tables;
+  }
+  /// Memory consumed by the tables themselves (4 KiB per table).
+  [[nodiscard]] sim::Bytes table_bytes() const { return total_tables() * 4096; }
+};
+
+/// Tables needed to map `placement` (densely packed mappings assumed —
+/// the upper bound is within one table per level of the truth).
+[[nodiscard]] PageTableStats page_tables_for(const Placement& placement);
+
+/// Average translation walk depth for the placement (4 levels for 4 KiB
+/// leaves, 3 for 2 MiB, 2 for 1 GiB), weighted by bytes.
+[[nodiscard]] double average_walk_depth(const Placement& placement);
+
+}  // namespace mkos::mem

@@ -1,0 +1,153 @@
+#include "mem/phys_allocator.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::mem {
+
+DomainAllocator::DomainAllocator(hw::DomainId id, sim::Bytes capacity)
+    : id_(id), capacity_(capacity), free_bytes_(capacity) {
+  MKOS_EXPECTS(capacity > 0);
+  free_.emplace(0, capacity);
+}
+
+sim::Bytes DomainAllocator::largest_free_extent() const {
+  sim::Bytes best = 0;
+  for (const auto& [start, len] : free_) best = std::max(best, len);
+  return best;
+}
+
+std::optional<Extent> DomainAllocator::alloc_contiguous(sim::Bytes length, sim::Bytes align) {
+  MKOS_EXPECTS(length > 0);
+  MKOS_EXPECTS(align > 0 && (align & (align - 1)) == 0);
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const sim::Bytes start = it->first;
+    const sim::Bytes len = it->second;
+    const sim::Bytes aligned = sim::align_up(start, align);
+    const sim::Bytes waste = aligned - start;
+    if (len < waste + length) continue;
+    // Carve [aligned, aligned+length) out of [start, start+len).
+    const sim::Bytes tail_start = aligned + length;
+    const sim::Bytes tail_len = start + len - tail_start;
+    free_.erase(it);
+    if (waste > 0) free_.emplace(start, waste);
+    if (tail_len > 0) free_.emplace(tail_start, tail_len);
+    free_bytes_ -= length;
+    return Extent{id_, aligned, length};
+  }
+  return std::nullopt;
+}
+
+std::vector<Extent> DomainAllocator::alloc_best_effort(sim::Bytes length, sim::Bytes granule) {
+  MKOS_EXPECTS(granule > 0 && (granule & (granule - 1)) == 0);
+  std::vector<Extent> out;
+  sim::Bytes remaining = sim::align_up(length, granule);
+  while (remaining > 0) {
+    // Take the largest granule-aligned piece available, capped at remaining.
+    auto best = free_.end();
+    sim::Bytes best_usable = 0;
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      const sim::Bytes aligned = sim::align_up(it->first, granule);
+      if (aligned >= it->first + it->second) continue;
+      const sim::Bytes usable = sim::align_down(it->first + it->second - aligned, granule);
+      if (usable > best_usable) {
+        best_usable = usable;
+        best = it;
+      }
+    }
+    if (best == free_.end() || best_usable == 0) break;
+    const sim::Bytes take = std::min(best_usable, remaining);
+    const sim::Bytes aligned = sim::align_up(best->first, granule);
+    auto e = alloc_contiguous(take, granule);
+    MKOS_ASSERT(e.has_value());
+    (void)aligned;
+    out.push_back(*e);
+    remaining -= take;
+  }
+  return out;
+}
+
+void DomainAllocator::free(const Extent& e) {
+  MKOS_EXPECTS(e.domain == id_);
+  MKOS_EXPECTS(e.length > 0);
+  MKOS_EXPECTS(e.end() <= capacity_);
+  insert_free(e.start, e.length);
+  free_bytes_ += e.length;
+  MKOS_ENSURES(free_bytes_ <= capacity_);
+}
+
+void DomainAllocator::insert_free(sim::Bytes start, sim::Bytes length) {
+  auto next = free_.lower_bound(start);
+  // Coalesce with the previous extent.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    MKOS_EXPECTS(prev->first + prev->second <= start);  // double free guard
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      length += prev->second;
+      free_.erase(prev);
+    }
+  }
+  // Coalesce with the following extent.
+  if (next != free_.end()) {
+    MKOS_EXPECTS(start + length <= next->first);
+    if (start + length == next->first) {
+      length += next->second;
+      free_.erase(next);
+    }
+  }
+  free_.emplace(start, length);
+}
+
+sim::Bytes DomainAllocator::pin_unmovable(sim::Bytes total, int chunks, sim::Rng& rng) {
+  MKOS_EXPECTS(chunks > 0);
+  sim::Bytes pinned = 0;
+  const sim::Bytes per_chunk = sim::align_up(total / static_cast<sim::Bytes>(chunks), 4 * sim::KiB);
+  for (int i = 0; i < chunks && pinned < total; ++i) {
+    // Pick a random free extent and pin a piece somewhere inside it so that
+    // the remaining space is split — this is what destroys 1 GiB contiguity.
+    if (free_.empty()) break;
+    auto it = free_.begin();
+    std::advance(it, static_cast<long>(rng.uniform_index(free_.size())));
+    const sim::Bytes start = it->first;
+    const sim::Bytes len = it->second;
+    if (len < per_chunk) continue;
+    const sim::Bytes slack = len - per_chunk;
+    const sim::Bytes offset =
+        sim::align_down(slack > 0 ? rng.uniform_index(slack) : 0, 4 * sim::KiB);
+    free_.erase(it);
+    if (offset > 0) free_.emplace(start, offset);
+    const sim::Bytes tail = start + offset + per_chunk;
+    if (tail < start + len) free_.emplace(tail, start + len - tail);
+    free_bytes_ -= per_chunk;
+    pinned += per_chunk;
+  }
+  return pinned;
+}
+
+PhysMemory::PhysMemory(const hw::NodeTopology& topo) {
+  domains_.reserve(topo.domains().size());
+  for (const auto& d : topo.domains()) domains_.emplace_back(d.id, d.capacity);
+}
+
+DomainAllocator& PhysMemory::domain(hw::DomainId id) {
+  MKOS_EXPECTS(id >= 0 && id < domain_count());
+  return domains_[static_cast<std::size_t>(id)];
+}
+
+const DomainAllocator& PhysMemory::domain(hw::DomainId id) const {
+  MKOS_EXPECTS(id >= 0 && id < domain_count());
+  return domains_[static_cast<std::size_t>(id)];
+}
+
+sim::Bytes PhysMemory::free_bytes_of_kind(const hw::NodeTopology& topo,
+                                          hw::MemKind kind) const {
+  sim::Bytes total = 0;
+  for (const auto& d : domains_) {
+    if (topo.domain(d.id()).kind == kind) total += d.free_bytes();
+  }
+  return total;
+}
+
+}  // namespace mkos::mem

@@ -1,0 +1,88 @@
+#pragma once
+// Physical memory: per-NUMA-domain extent allocators.
+//
+// Kernels carve physical backing out of these. Contiguity matters: large
+// pages need naturally aligned free extents, and the paper's IHK-vs-mOS
+// boot-order difference ("mOS can grab large contiguous physical memory
+// blocks early during the boot sequence, McKernel has to request them from
+// Linux later, potentially after Linux has already placed unmovable data
+// structures into it") is modeled by punching unmovable holes into a domain
+// before the LWK reserves from it.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "mem/page.hpp"
+#include "sim/rng.hpp"
+
+namespace mkos::mem {
+
+/// A physically contiguous run of memory inside one domain.
+struct Extent {
+  hw::DomainId domain = -1;
+  sim::Bytes start = 0;
+  sim::Bytes length = 0;
+
+  [[nodiscard]] sim::Bytes end() const { return start + length; }
+};
+
+/// First-fit extent allocator for a single NUMA domain.
+class DomainAllocator {
+ public:
+  DomainAllocator(hw::DomainId id, sim::Bytes capacity);
+
+  [[nodiscard]] hw::DomainId id() const { return id_; }
+  [[nodiscard]] sim::Bytes capacity() const { return capacity_; }
+  [[nodiscard]] sim::Bytes free_bytes() const { return free_bytes_; }
+  [[nodiscard]] sim::Bytes used_bytes() const { return capacity_ - free_bytes_; }
+  [[nodiscard]] sim::Bytes largest_free_extent() const;
+
+  /// Allocate exactly `length` bytes in one contiguous, `align`-aligned run.
+  /// Returns nullopt when no such run exists (fragmentation or exhaustion).
+  std::optional<Extent> alloc_contiguous(sim::Bytes length, sim::Bytes align);
+
+  /// Allocate up to `length` bytes as multiple extents, each aligned to and
+  /// a multiple of `granule` (the page size being mapped). May return less
+  /// than requested; the caller decides whether to spill to another domain.
+  std::vector<Extent> alloc_best_effort(sim::Bytes length, sim::Bytes granule);
+
+  /// Return an extent previously handed out.
+  void free(const Extent& e);
+
+  /// Permanently remove `total` bytes in `chunks` randomly placed unmovable
+  /// chunks (models Linux boot-time allocations that IHK cannot relocate).
+  /// Returns the number of bytes actually pinned.
+  sim::Bytes pin_unmovable(sim::Bytes total, int chunks, sim::Rng& rng);
+
+  /// Number of distinct free extents (fragmentation indicator).
+  [[nodiscard]] std::size_t free_extent_count() const { return free_.size(); }
+
+ private:
+  void insert_free(sim::Bytes start, sim::Bytes length);
+
+  hw::DomainId id_;
+  sim::Bytes capacity_;
+  sim::Bytes free_bytes_;
+  std::map<sim::Bytes, sim::Bytes> free_;  // start -> length, coalesced
+};
+
+/// All domains of one node.
+class PhysMemory {
+ public:
+  explicit PhysMemory(const hw::NodeTopology& topo);
+
+  [[nodiscard]] DomainAllocator& domain(hw::DomainId id);
+  [[nodiscard]] const DomainAllocator& domain(hw::DomainId id) const;
+  [[nodiscard]] int domain_count() const { return static_cast<int>(domains_.size()); }
+
+  [[nodiscard]] sim::Bytes free_bytes_of_kind(const hw::NodeTopology& topo,
+                                              hw::MemKind kind) const;
+
+ private:
+  std::vector<DomainAllocator> domains_;
+};
+
+}  // namespace mkos::mem

@@ -1,0 +1,231 @@
+#include "mem/placement.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::mem {
+
+namespace {
+
+/// Fraction of an eligible anon range transparent huge pages actually cover
+/// on this Linux vintage (khugepaged lag, alignment holes).
+constexpr double kThpCoverage = 0.65;
+
+/// Largest page size usable for a run of `bytes` in a domain whose largest
+/// free aligned extent is `largest`.
+PageSize best_page(sim::Bytes bytes, sim::Bytes largest, bool use_large) {
+  if (!use_large) return PageSize::k4K;
+  if (bytes >= sim::GiB && largest >= sim::GiB) return PageSize::k1G;
+  if (bytes >= 2 * sim::MiB && largest >= 2 * sim::MiB) return PageSize::k2M;
+  return PageSize::k4K;
+}
+
+sim::TimeNs pte_cost(const MemCostModel& cost, sim::Bytes bytes, PageSize page) {
+  return cost.pte_per_page * static_cast<std::int64_t>(pages_for(bytes, page));
+}
+
+}  // namespace
+
+std::vector<hw::DomainId> lwk_domain_order(const hw::NodeTopology& topo, int home_quadrant,
+                                           bool prefer_mcdram) {
+  std::vector<hw::DomainId> order;
+  auto push_kind = [&](hw::MemKind kind) {
+    const hw::DomainId local = topo.domain_in_quadrant(home_quadrant, kind);
+    if (local >= 0) order.push_back(local);
+    for (hw::DomainId d : topo.domains_of_kind(kind)) {
+      if (d != local) order.push_back(d);
+    }
+  };
+  if (prefer_mcdram) {
+    push_kind(hw::MemKind::kMcdram);
+    push_kind(hw::MemKind::kDdr4);
+  } else {
+    push_kind(hw::MemKind::kDdr4);
+    push_kind(hw::MemKind::kMcdram);
+  }
+  return order;
+}
+
+std::vector<hw::DomainId> linux_domain_order(const hw::NodeTopology& topo,
+                                             const MemPolicy& policy, int home_quadrant) {
+  switch (policy.mode) {
+    case PolicyMode::kBind:
+    case PolicyMode::kInterleave:
+      return policy.domains;
+    case PolicyMode::kPreferred: {
+      MKOS_EXPECTS(policy.domains.size() == 1);  // the Linux limitation
+      std::vector<hw::DomainId> order{policy.domains[0]};
+      for (hw::DomainId d : topo.fallback_order(home_quadrant)) {
+        if (d != policy.domains[0]) order.push_back(d);
+      }
+      return order;
+    }
+    case PolicyMode::kDefault:
+      return topo.fallback_order(home_quadrant);
+  }
+  return topo.fallback_order(home_quadrant);
+}
+
+PlaceResult place_lwk(PhysMemory& phys, const hw::NodeTopology& topo,
+                      const MemCostModel& cost, const PlaceRequest& req) {
+  MKOS_EXPECTS(req.bytes > 0);
+  PlaceResult res;
+
+  std::vector<hw::DomainId> order;
+  if (req.policy.mode == PolicyMode::kDefault) {
+    order = lwk_domain_order(topo, req.home_quadrant, req.prefer_mcdram);
+  } else {
+    // McKernel "implements the standard NUMA APIs" — an explicit policy wins
+    // over the LWK spill order, but the LWK still appends a DDR4 fallback so
+    // it can "silently fall back to DDR4 RAM once they run out of MCDRAM".
+    order = linux_domain_order(topo, req.policy, req.home_quadrant);
+    if (req.policy.mode != PolicyMode::kBind) {
+      for (hw::DomainId d : lwk_domain_order(topo, req.home_quadrant, false)) {
+        if (std::find(order.begin(), order.end(), d) == order.end()) order.push_back(d);
+      }
+    }
+  }
+
+  sim::Bytes remaining = sim::align_up(req.bytes, 4 * sim::KiB);
+  sim::Bytes quota_left = req.mcdram_quota == PlaceRequest::kNoQuota
+                              ? PlaceRequest::kNoQuota
+                              : (req.mcdram_quota > req.mcdram_quota_used
+                                     ? req.mcdram_quota - req.mcdram_quota_used
+                                     : 0);
+
+  for (hw::DomainId d : order) {
+    if (remaining == 0) break;
+    auto& alloc = phys.domain(d);
+    const bool is_mcdram = topo.domain(d).kind == hw::MemKind::kMcdram;
+
+    sim::Bytes want = remaining;
+    if (is_mcdram && quota_left != PlaceRequest::kNoQuota) {
+      want = std::min(want, quota_left);
+      if (want == 0) continue;
+    }
+
+    // Try progressively smaller page granules within this domain.
+    for (PageSize page : {PageSize::k1G, PageSize::k2M, PageSize::k4K}) {
+      if (want == 0) break;
+      const PageSize usable = best_page(want, alloc.largest_free_extent(), req.use_large_pages);
+      // Skip granules larger than what the request/extents support.
+      if (page_bytes(page) > page_bytes(usable)) continue;
+      const sim::Bytes granule = page_bytes(page);
+      const sim::Bytes ask = sim::align_down(want, granule);
+      if (ask == 0) continue;
+      auto extents = alloc.alloc_best_effort(ask, granule);
+      for (const auto& e : extents) {
+        res.extents.push_back(e);
+        res.placement.add(d, page, e.length);
+        res.map_cost += pte_cost(cost, e.length, page);
+        // LWKs hand out pre-zeroed memory at map time so no fault ever hits
+        // the application; the zeroing bill is paid here, once.
+        res.map_cost += cost.zero_cost(e.length);
+        remaining -= e.length;
+        want -= e.length;
+        if (is_mcdram) {
+          res.mcdram_taken += e.length;
+          if (quota_left != PlaceRequest::kNoQuota) quota_left -= e.length;
+        }
+      }
+    }
+  }
+
+  res.backed = res.placement.total();
+  if (remaining > 0) {
+    if (req.demand_fallback) {
+      // McKernel: "automatically fall back to demand paging to allow best
+      // effort allocation ... when enough physical memory is not available".
+      res.deferred = remaining;
+      res.used_demand_fallback = true;
+    } else if (req.rigid) {
+      // mOS: "Only physically available memory can be allocated."
+      res.err = 12;  // ENOMEM
+    } else {
+      res.deferred = remaining;
+    }
+  }
+  return res;
+}
+
+PlaceResult place_linux(const hw::NodeTopology& topo, const MemCostModel& cost,
+                        const PlaceRequest& req, Vma& vma, bool thp_enabled) {
+  MKOS_EXPECTS(req.bytes > 0);
+  (void)topo;
+  PlaceResult res;
+  res.deferred = sim::align_up(req.bytes, 4 * sim::KiB);
+  // THP: private anon mappings of >= 2 MiB get a 2 MiB fault granule. The
+  // heap is handled separately (LinuxHeap: brk alignment rarely allows THP)
+  // and tmpfs/shm segments stay at 4 KiB (shmem THP is off on this vintage).
+  vma.touch_page = (thp_enabled && req.bytes >= 2 * sim::MiB && vma.kind == VmaKind::kAnon)
+                       ? PageSize::k2M
+                       : PageSize::k4K;
+  vma.demand_paged = true;
+  res.map_cost = cost.pte_per_page;  // VMA bookkeeping only
+  return res;
+}
+
+TouchResult touch(PhysMemory& phys, const hw::NodeTopology& topo, const MemCostModel& cost,
+                  Vma& vma, sim::Bytes bytes, int home_quadrant, int concurrent_faulters) {
+  TouchResult res;
+  if (!vma.demand_paged) return res;
+  sim::Bytes remaining = std::min(bytes, vma.unbacked());
+  if (remaining == 0) return res;
+
+  const std::vector<hw::DomainId> order =
+      vma.touch_lwk_order ? lwk_domain_order(topo, home_quadrant, true)
+                          : linux_domain_order(topo, vma.policy, home_quadrant);
+  const double contention = cost.contention(concurrent_faulters);
+
+  for (hw::DomainId d : order) {
+    if (remaining == 0) break;
+    auto& alloc = phys.domain(d);
+    if (vma.policy.mode == PolicyMode::kBind &&
+        std::find(vma.policy.domains.begin(), vma.policy.domains.end(), d) ==
+            vma.policy.domains.end()) {
+      continue;
+    }
+    // Fault granule: the VMA's granule when extents allow, else 4K. THP is
+    // opportunistic on Linux — khugepaged only collapses part of an anon
+    // range into huge pages (alignment holes, partial ranges, scan lag) —
+    // while the LWK fallback path always fills whole 2 MiB granules.
+    sim::Bytes thp_budget =
+        vma.touch_lwk_order
+            ? remaining
+            : sim::align_down(
+                  static_cast<sim::Bytes>(static_cast<double>(remaining) * kThpCoverage),
+                  page_bytes(PageSize::k2M));
+    while (remaining > 0) {
+      PageSize page = vma.touch_page;
+      if (page == PageSize::k2M && thp_budget == 0) page = PageSize::k4K;
+      if (page_bytes(page) > remaining || alloc.largest_free_extent() < page_bytes(page)) {
+        page = PageSize::k4K;
+      }
+      const sim::Bytes granule = page_bytes(page);
+      sim::Bytes ask =
+          sim::align_up(std::min(remaining, sim::Bytes{64} * sim::MiB), granule);
+      if (page == PageSize::k2M) ask = std::min(ask, thp_budget);
+      auto extents = alloc.alloc_best_effort(ask, granule);
+      if (extents.empty()) break;  // domain exhausted; next in fallback order
+      for (const auto& e : extents) {
+        vma.extents.push_back(e);
+        vma.placement.add(d, page, e.length);
+        const std::uint64_t n = pages_for(e.length, page);
+        res.faults += n;
+        const sim::TimeNs handler = page == PageSize::k4K ? cost.fault_4k : cost.fault_large;
+        res.cost += (handler * static_cast<std::int64_t>(n)).scaled(contention);
+        // Linux zeroes each page inside the fault (write to the CoW zero page).
+        res.cost += cost.zero_cost(e.length);
+        res.newly_backed += e.length;
+        remaining -= std::min(remaining, e.length);
+        if (page == PageSize::k2M) thp_budget -= std::min(thp_budget, e.length);
+      }
+    }
+  }
+  vma.fault_count += res.faults;
+  if (vma.unbacked() == 0) vma.demand_paged = vma.kind == VmaKind::kHeap;  // heap can grow again
+  return res;
+}
+
+}  // namespace mkos::mem

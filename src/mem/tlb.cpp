@@ -1,0 +1,47 @@
+#include "mem/tlb.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::mem {
+
+sim::Bytes TlbSpec::coverage(PageSize p) const {
+  switch (p) {
+    case PageSize::k4K: return static_cast<sim::Bytes>(entries_4k) * page_bytes(p);
+    case PageSize::k2M: return static_cast<sim::Bytes>(entries_2m) * page_bytes(p);
+    case PageSize::k1G: return static_cast<sim::Bytes>(entries_1g) * page_bytes(p);
+  }
+  return 0;
+}
+
+double tlb_miss_ns_per_byte(const TlbSpec& tlb, sim::Bytes bytes, PageSize p) {
+  if (bytes == 0) return 0.0;
+  const sim::Bytes covered = tlb.coverage(p);
+  if (bytes <= covered) return 0.0;
+  // Streaming: beyond coverage, each page crossing of the uncovered part
+  // misses. Misses per byte = uncovered_fraction / page_size.
+  const double uncovered =
+      static_cast<double>(bytes - covered) / static_cast<double>(bytes);
+  return uncovered * static_cast<double>(tlb.walk.ns()) /
+         static_cast<double>(page_bytes(p));
+}
+
+double tlb_bandwidth_factor(const TlbSpec& tlb, const Placement& placement,
+                            double base_gbps) {
+  MKOS_EXPECTS(base_gbps > 0.0);
+  const sim::Bytes total = placement.total();
+  if (total == 0) return 1.0;
+  const double base_ns_per_byte = 1.0 / base_gbps;  // GB/s -> ns/B
+
+  double weighted_miss = 0.0;
+  for (const PageSize p : {PageSize::k4K, PageSize::k2M, PageSize::k1G}) {
+    const sim::Bytes b = placement.bytes_with_page(p);
+    if (b == 0) continue;
+    const double frac = static_cast<double>(b) / static_cast<double>(total);
+    weighted_miss += frac * tlb_miss_ns_per_byte(tlb, b, p);
+  }
+  return base_ns_per_byte / (base_ns_per_byte + weighted_miss);
+}
+
+}  // namespace mkos::mem

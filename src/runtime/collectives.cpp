@@ -1,0 +1,123 @@
+#include "runtime/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::runtime {
+
+namespace {
+
+int ceil_log2(int n) {
+  int stages = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach *= 2;
+    ++stages;
+  }
+  return stages;
+}
+
+/// Inter-node message cost: wire time at the derated bandwidth plus the
+/// kernel involvement tax.
+sim::TimeNs msg_cost(sim::Bytes bytes, const hw::NetworkModel& net,
+                     const CollectiveCosts& costs, int hops) {
+  sim::TimeNs t = net.wire_time(bytes, hops).scaled(1.0 / costs.bandwidth_factor);
+  return t + costs.kernel_overhead_per_msg;
+}
+
+}  // namespace
+
+std::string_view to_string(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive-doubling";
+    case AllreduceAlgo::kRabenseifner: return "rabenseifner";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kReduceBroadcast: return "reduce+bcast";
+    case AllreduceAlgo::kAuto: return "auto";
+  }
+  return "?";
+}
+
+int allreduce_stages(AllreduceAlgo a, const CollectiveShape& shape) {
+  const int n = std::max(1, shape.nodes);
+  switch (a) {
+    case AllreduceAlgo::kRecursiveDoubling:
+      return ceil_log2(n);
+    case AllreduceAlgo::kRabenseifner:
+      return 2 * ceil_log2(n);
+    case AllreduceAlgo::kRing:
+      return 2 * (n - 1);
+    case AllreduceAlgo::kReduceBroadcast:
+      return 2 * ceil_log2(n);
+    case AllreduceAlgo::kAuto:
+      return allreduce_stages(allreduce_pick(shape), shape);
+  }
+  return ceil_log2(n);
+}
+
+AllreduceAlgo allreduce_pick(const CollectiveShape& shape) {
+  // Production-MPI-style switch points: latency-bound small messages use
+  // recursive doubling; mid-size payloads Rabenseifner; very large payloads
+  // on few nodes go ring.
+  if (shape.bytes <= 4 * sim::KiB) return AllreduceAlgo::kRecursiveDoubling;
+  if (shape.bytes >= 4 * sim::MiB && shape.nodes <= 64) return AllreduceAlgo::kRing;
+  return AllreduceAlgo::kRabenseifner;
+}
+
+sim::TimeNs allreduce_base_cost(AllreduceAlgo a, const CollectiveShape& shape,
+                                const hw::NetworkModel& net,
+                                const CollectiveCosts& costs) {
+  MKOS_EXPECTS(shape.nodes >= 1 && shape.ranks_per_node >= 1);
+  if (a == AllreduceAlgo::kAuto) a = allreduce_pick(shape);
+
+  // Intra-node combine first (shared memory tree over the ranks).
+  const int intra_stages = ceil_log2(shape.ranks_per_node);
+  sim::TimeNs total = (costs.intra_stage + costs.software_stage) * intra_stages;
+
+  if (shape.nodes <= 1) return total;
+  const int hops = net.hop_count(0, shape.nodes / 2, shape.nodes);
+  const int n = shape.nodes;
+
+  switch (a) {
+    case AllreduceAlgo::kRecursiveDoubling: {
+      const int stages = ceil_log2(n);
+      total += (msg_cost(shape.bytes, net, costs, hops) + costs.software_stage) * stages;
+      break;
+    }
+    case AllreduceAlgo::kRabenseifner: {
+      // Reduce-scatter halves the payload per stage, allgather doubles it:
+      // total payload moved ~= 2 * bytes * (n-1)/n.
+      const int stages = ceil_log2(n);
+      sim::Bytes chunk = shape.bytes;
+      for (int s = 0; s < stages; ++s) {
+        chunk = std::max<sim::Bytes>(chunk / 2, 1);
+        total += msg_cost(chunk, net, costs, hops) + costs.software_stage;
+      }
+      chunk = std::max<sim::Bytes>(shape.bytes >> std::min(stages, 30), 1);
+      for (int s = 0; s < stages; ++s) {
+        total += msg_cost(chunk, net, costs, hops) + costs.software_stage;
+        chunk = std::min<sim::Bytes>(chunk * 2, shape.bytes);
+      }
+      break;
+    }
+    case AllreduceAlgo::kRing: {
+      const sim::Bytes chunk = std::max<sim::Bytes>(shape.bytes / static_cast<sim::Bytes>(n), 1);
+      total += (msg_cost(chunk, net, costs, 1) + costs.software_stage) * (2 * (n - 1));
+      break;
+    }
+    case AllreduceAlgo::kReduceBroadcast: {
+      const int stages = ceil_log2(n);
+      // Full payload through both trees; the root serializes fan-in.
+      total += (msg_cost(shape.bytes, net, costs, hops) + costs.software_stage) *
+               (2 * stages);
+      break;
+    }
+    case AllreduceAlgo::kAuto:
+      break;  // resolved above
+  }
+  return total;
+}
+
+}  // namespace mkos::runtime

@@ -1,0 +1,69 @@
+#pragma once
+// Collective-algorithm cost models.
+//
+// Real MPI implementations switch allreduce algorithms by message size and
+// communicator shape; the choice interacts with OS noise (more stages =
+// more synchronization points = more exposure) and with kernel-involved
+// fabrics (more messages = more offloaded device calls). Modeling the
+// algorithms separately lets the ablation benches ask questions the paper's
+// discussion raises (MiniFE "is sensitive to the performance of MPI
+// collective operations") quantitatively.
+//
+// Cost conventions follow the classic LogGP-style analyses (Thakur et al.):
+//   recursive doubling : ceil(log2 P) stages, full payload per stage
+//   Rabenseifner       : reduce-scatter + allgather, 2*(P-1)/P of the
+//                        payload total, 2*ceil(log2 P) stages
+//   ring               : 2*(P-1) steps of payload/P — bandwidth optimal,
+//                        latency hostile
+//   reduce + broadcast : two trees, root bottleneck on the payload
+
+#include <string_view>
+
+#include "hw/network.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace mkos::runtime {
+
+enum class AllreduceAlgo : std::uint8_t {
+  kRecursiveDoubling,
+  kRabenseifner,
+  kRing,
+  kReduceBroadcast,
+  kAuto,  ///< size-based switch, like production MPI
+};
+
+[[nodiscard]] std::string_view to_string(AllreduceAlgo a);
+
+struct CollectiveShape {
+  int nodes = 1;
+  int ranks_per_node = 1;
+  sim::Bytes bytes = 8;
+
+  [[nodiscard]] int world() const { return nodes * ranks_per_node; }
+};
+
+struct CollectiveCosts {
+  sim::TimeNs intra_stage{600};     ///< shared-memory combine step
+  sim::TimeNs software_stage{900};  ///< per-stage software overhead
+  /// Extra kernel cost per inter-node message (device-file syscalls,
+  /// scaled by the fabric's kernel_involved_ops), and the send bandwidth
+  /// derating of the kernel under test.
+  sim::TimeNs kernel_overhead_per_msg{0};
+  double bandwidth_factor = 1.0;
+};
+
+/// Number of synchronization stages the algorithm takes inter-node
+/// (exposure points for noise coupling).
+[[nodiscard]] int allreduce_stages(AllreduceAlgo a, const CollectiveShape& shape);
+
+/// Algorithm the kAuto policy picks for this shape.
+[[nodiscard]] AllreduceAlgo allreduce_pick(const CollectiveShape& shape);
+
+/// Noise-free base cost of the allreduce on the given fabric.
+[[nodiscard]] sim::TimeNs allreduce_base_cost(AllreduceAlgo a,
+                                              const CollectiveShape& shape,
+                                              const hw::NetworkModel& net,
+                                              const CollectiveCosts& costs);
+
+}  // namespace mkos::runtime

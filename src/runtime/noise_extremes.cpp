@@ -1,0 +1,142 @@
+#include "runtime/noise_extremes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::runtime {
+
+namespace {
+constexpr std::uint64_t kMomentSamples = 8192;
+constexpr double kRareEventThreshold = 2048.0;  ///< expected events across job
+}  // namespace
+
+double NoiseExtremes::draw_duration(const kernel::NoiseComponent& c, sim::Rng& rng) {
+  double d;
+  switch (c.dist) {
+    case kernel::NoiseComponent::Dist::kFixed:
+      d = static_cast<double>(c.duration.ns());
+      break;
+    case kernel::NoiseComponent::Dist::kExponential:
+      d = rng.exponential(static_cast<double>(c.duration.ns()));
+      break;
+    case kernel::NoiseComponent::Dist::kPareto:
+      d = rng.pareto(static_cast<double>(c.duration.ns()), c.pareto_alpha);
+      break;
+    default:
+      d = 0.0;
+  }
+  if (c.cap.ns() > 0) d = std::min(d, static_cast<double>(c.cap.ns()));
+  return d;
+}
+
+NoiseExtremes::NoiseExtremes(kernel::NoiseModel model) : model_(std::move(model)) {
+  moments_.reserve(model_.components().size());
+  sim::Rng rng{0x9d0e5eedcafef00dULL};  // fixed: moments are model constants
+  for (const auto& c : model_.components()) {
+    double sum = 0.0;
+    double sum2 = 0.0;
+    if (c.dist == kernel::NoiseComponent::Dist::kFixed) {
+      sum = static_cast<double>(c.duration.ns()) * kMomentSamples;
+      sum2 = static_cast<double>(c.duration.ns()) * static_cast<double>(c.duration.ns()) *
+             kMomentSamples;
+    } else {
+      for (std::uint64_t i = 0; i < kMomentSamples; ++i) {
+        const double d = draw_duration(c, rng);
+        sum += d;
+        sum2 += d * d;
+      }
+    }
+    moments_.push_back(Moments{c.rate_hz, sum / kMomentSamples, sum2 / kMomentSamples});
+  }
+}
+
+double NoiseExtremes::mean_fraction() const {
+  double f = 0.0;
+  for (const auto& m : moments_) f += m.rate_hz * m.mean_ns * 1e-9;
+  return f;
+}
+
+double NoiseExtremes::total_rate_hz() const {
+  double r = 0.0;
+  for (const auto& m : moments_) r += m.rate_hz;
+  return r;
+}
+
+double NoiseExtremes::mean_duration_s() const {
+  const double r = total_rate_hz();
+  if (r <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& m : moments_) weighted += m.rate_hz * m.mean_ns;
+  return weighted / r * 1e-9;
+}
+
+sim::TimeNs NoiseExtremes::max_cap() const {
+  sim::TimeNs cap{0};
+  for (const auto& c : model_.components()) {
+    if (c.cap.ns() == 0) return sim::TimeNs{0};
+    cap = std::max(cap, c.cap);
+  }
+  return cap;
+}
+
+NoiseWindow NoiseExtremes::sample(sim::TimeNs span, std::uint64_t cores,
+                                  sim::Rng& rng) const {
+  MKOS_EXPECTS(span >= sim::TimeNs{0});
+  MKOS_EXPECTS(cores >= 1);
+  if (span.ns() == 0) return {};
+
+  const double span_s = span.sec();
+  const auto& comps = model_.components();
+
+  // Pass 1: per-core expectations.
+  std::vector<double> comp_means(comps.size());
+  double mean_total = 0.0;
+  for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+    comp_means[ci] = moments_[ci].rate_hz * span_s * moments_[ci].mean_ns;
+    mean_total += comp_means[ci];
+  }
+
+  // Pass 2: maxima.
+  double max_total = 0.0;
+  for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+    const auto& c = comps[ci];
+    const auto& m = moments_[ci];
+    const double lambda_core = m.rate_hz * span_s;       // events per core
+    const double lambda_total = lambda_core * static_cast<double>(cores);
+    const double comp_mean = comp_means[ci];
+
+    double comp_max;
+    if (lambda_total <= kRareEventThreshold) {
+      // Rare: enumerate the events that actually happen across the job.
+      const std::uint64_t n = rng.poisson(lambda_total);
+      double largest = 0.0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        largest = std::max(largest, draw_duration(c, rng));
+      }
+      comp_max = largest;
+    } else {
+      // Frequent: per-core sum ~ Normal(mu, sigma^2); Gumbel-located max.
+      const double mu = comp_mean;
+      const double var = lambda_core * m.m2_ns2;
+      const double sigma = std::sqrt(std::max(var, 0.0));
+      const double ln_c = std::log(static_cast<double>(cores));
+      const double a = std::sqrt(2.0 * ln_c);
+      double u = rng.next_double();
+      if (u <= 0.0) u = 0x1.0p-53;
+      if (u >= 1.0) u = 1.0 - 0x1.0p-53;
+      const double gumbel = -std::log(-std::log(u));
+      comp_max = mu + sigma * (a + (gumbel - (std::log(ln_c) + std::log(12.566370614)) / 2.0 / a));
+      comp_max = std::max(comp_max, mu);
+    }
+    // Combining components: the slowest core for one component very likely
+    // carries only the mean of the others.
+    max_total = std::max(max_total, comp_max + (mean_total - comp_mean));
+  }
+  max_total = std::max(max_total, mean_total);
+
+  return NoiseWindow{sim::from_double_ns(mean_total), sim::from_double_ns(max_total)};
+}
+
+}  // namespace mkos::runtime

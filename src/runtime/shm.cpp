@@ -1,0 +1,56 @@
+#include "runtime/shm.hpp"
+
+#include "kernel/mckernel.hpp"
+#include "sim/contracts.hpp"
+
+namespace mkos::runtime {
+
+ShmSetupResult setup_mpi_shm(Job& job, sim::Bytes bytes) {
+  MKOS_EXPECTS(bytes > 0);
+  ShmSetupResult res;
+  kernel::Kernel& k = job.kernel();
+
+  bool premap = false;
+  switch (k.kind()) {
+    case kernel::OsKind::kLinux:
+      premap = false;  // POSIX shm is demand-paged
+      break;
+    case kernel::OsKind::kMcKernel:
+      premap = static_cast<const kernel::McKernel&>(k).options().mpol_shm_premap;
+      break;
+    case kernel::OsKind::kMos:
+      premap = true;  // upfront backing is the LWK's normal policy
+      break;
+    case kernel::OsKind::kFusedOs:
+      premap = true;  // CNK-style static mapping
+      break;
+  }
+  res.premapped = premap;
+
+  // The segment is one shared object per node: each rank owns (and backs)
+  // its slice, and every rank can address the whole thing. Physically the
+  // node carries `bytes` once, so each lane maps its slice.
+  const int lanes = job.lane_count();
+  const sim::Bytes slice = std::max<sim::Bytes>(bytes / static_cast<sim::Bytes>(lanes),
+                                                4 * sim::KiB);
+  for (int i = 0; i < lanes; ++i) {
+    kernel::Process& p = job.lane(i);
+    auto r = k.sys_mmap(p, slice, mem::VmaKind::kShm, mem::MemPolicy::standard());
+    MKOS_ASSERT(r.err == kernel::kOk);
+    sim::TimeNs cost = r.cost;
+    // Installing page tables over the other ranks' slices.
+    cost += k.mem_costs().pte_per_page *
+            static_cast<std::int64_t>(mem::pages_for(bytes, mem::PageSize::k2M));
+    if (!premap && r.vma != nullptr && r.vma->demand_paged) {
+      // Demand-paged: every rank faults its slice concurrently with all the
+      // others — the contention --mpol-shm-premap exists to avoid.
+      const mem::TouchResult t = k.touch(p, *r.vma, slice, lanes);
+      res.faults += t.faults;
+      cost += t.cost;
+    }
+    res.per_rank_cost = std::max(res.per_rank_cost, cost);
+  }
+  return res;
+}
+
+}  // namespace mkos::runtime

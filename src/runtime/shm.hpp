@@ -1,0 +1,24 @@
+#pragma once
+// MPI intra-node shared-memory segments.
+//
+// Every rank maps the node's communication segment at MPI_Init. On Linux
+// (and on McKernel without --mpol-shm-premap) the segment is demand-paged:
+// all ranks fault it in concurrently, contending in the fault handler. With
+// --mpol-shm-premap McKernel's proxy pre-maps it ("This helps avoiding
+// contention in the page fault handler"); mOS backs it upfront as a matter
+// of policy.
+
+#include "runtime/job.hpp"
+
+namespace mkos::runtime {
+
+struct ShmSetupResult {
+  sim::TimeNs per_rank_cost{0};   ///< charged to every rank at MPI_Init
+  std::uint64_t faults = 0;       ///< total faults taken across the node
+  bool premapped = false;
+};
+
+/// Map an MPI shared-memory segment of `bytes` into every lane of the job.
+[[nodiscard]] ShmSetupResult setup_mpi_shm(Job& job, sim::Bytes bytes);
+
+}  // namespace mkos::runtime

@@ -1,0 +1,199 @@
+#include "runtime/simmpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::runtime {
+
+MpiWorld::MpiWorld(Job& job, std::uint64_t noise_seed)
+    : job_(job),
+      extremes_(job.kernel().noise()),
+      coll_extremes_(job.kernel().collective_noise()),
+      rng_(noise_seed) {
+  lane_pending_.assign(static_cast<std::size_t>(job.lane_count()), sim::TimeNs{0});
+  refresh_lanes();
+}
+
+void MpiWorld::refresh_lanes() {
+  lane_gbps_.resize(static_cast<std::size_t>(job_.lane_count()));
+  min_lane_gbps_ = 1e30;
+  for (int i = 0; i < job_.lane_count(); ++i) {
+    lane_gbps_[static_cast<std::size_t>(i)] = job_.lane_effective_gbps(i);
+    min_lane_gbps_ = std::min(min_lane_gbps_, lane_gbps_[static_cast<std::size_t>(i)]);
+  }
+}
+
+void MpiWorld::mpi_init(sim::Bytes shm_segment_bytes) {
+  shm_ = setup_mpi_shm(job_, shm_segment_bytes);
+  pending_uniform_ += shm_.per_rank_cost;
+  refresh_lanes();
+}
+
+std::uint64_t MpiWorld::global_cores() const {
+  return static_cast<std::uint64_t>(job_.spec().nodes) *
+         static_cast<std::uint64_t>(job_.node().app_core_count());
+}
+
+void MpiWorld::compute_bytes(sim::Bytes bytes_per_rank) {
+  for (std::size_t i = 0; i < lane_pending_.size(); ++i) {
+    const double ns = static_cast<double>(bytes_per_rank) / (lane_gbps_[i] * 1e9) * 1e9;
+    lane_pending_[i] += sim::from_double_ns(ns);
+  }
+}
+
+void MpiWorld::compute_bytes_scaled(sim::Bytes bytes_per_rank,
+                                    const std::vector<double>& lane_scale) {
+  MKOS_EXPECTS(!lane_scale.empty());
+  for (std::size_t i = 0; i < lane_pending_.size(); ++i) {
+    const double scaled =
+        static_cast<double>(bytes_per_rank) * lane_scale[i % lane_scale.size()];
+    lane_pending_[i] += sim::from_double_ns(scaled / (lane_gbps_[i] * 1e9) * 1e9);
+  }
+}
+
+void MpiWorld::compute_time(sim::TimeNs per_rank) { pending_uniform_ += per_rank; }
+
+void MpiWorld::compute_flops(double flops_per_rank) {
+  // KNL per-core sustained scalar+vector rate for real codes (not peak):
+  // ~12 GF/s per core over threads_per_rank-covered cores.
+  const double gflops = 12.0 * job_.spec().threads_per_rank;
+  pending_uniform_ += sim::from_double_ns(flops_per_rank / (gflops * 1e9) * 1e9);
+}
+
+void MpiWorld::sched_yields(int count_per_rank) {
+  const sim::TimeNs per = job_.kernel().scheduler_model().sched_yield_cost();
+  pending_uniform_ += per * count_per_rank;
+}
+
+void MpiWorld::syscall(kernel::Sys s, int count_per_rank, sim::Bytes payload) {
+  pending_uniform_ += job_.kernel().priced(s, payload) * count_per_rank;
+}
+
+void MpiWorld::heap_cycle(std::span<const std::int64_t> deltas) {
+  kernel::Kernel& k = job_.kernel();
+  // Heap faults of distinct rank processes contend only on the per-domain
+  // zone allocator, not on a shared mmap_sem (unlike the shm segment), so
+  // the effective concurrency in the fault handler is a fraction of the
+  // rank count.
+  const int faulters = 1 + job_.lane_count() / 8;
+  for (int i = 0; i < job_.lane_count(); ++i) {
+    kernel::Process& p = job_.lane(i);
+    sim::TimeNs cost{0};
+    for (const std::int64_t d : deltas) {
+      const auto r = k.sys_brk(p, d);
+      cost += r.cost;
+      if (d > 0) cost += k.heap_touch(p, faulters);
+    }
+    lane_pending_[static_cast<std::size_t>(i)] += cost;
+  }
+}
+
+void MpiWorld::synchronize(std::uint64_t sync_cores, sim::TimeNs comm, SyncKind kind) {
+  sim::TimeNs span = pending_uniform_;
+  sim::TimeNs max_lane{0};
+  for (auto& lp : lane_pending_) {
+    max_lane = std::max(max_lane, lp);
+    lp = sim::TimeNs{0};
+  }
+  span += max_lane;
+  pending_uniform_ = sim::TimeNs{0};
+
+  const NoiseWindow w = extremes_.sample(span, std::max<std::uint64_t>(sync_cores, 1), rng_);
+  clock_ += span + w.max + comm;
+  compute_time_ += span;
+  noise_wait_ += w.max;
+  comm_time_ += comm;
+  if (trace_enabled_) trace_.push_back(SyncEvent{kind, span, w.max, comm, clock_});
+}
+
+sim::TimeNs MpiWorld::message_cost(sim::Bytes bytes) const {
+  const auto& net = job_.machine().cluster.network();
+  const kernel::Kernel& k = job_.kernel();
+  // Average hop count for a random peer.
+  const int hops = net.hop_count(0, std::max(1, job_.spec().nodes / 2), job_.spec().nodes);
+  sim::TimeNs t = net.wire_time(bytes, hops).scaled(1.0 / k.network_bw_factor());
+  // Kernel involvement on the send path (hfi1 device-file writes).
+  if (net.kernel_involved_ops > 0.0) {
+    t += k.network_syscall_overhead().scaled(net.kernel_involved_ops);
+  }
+  return t;
+}
+
+sim::TimeNs MpiWorld::collective_cost(sim::Bytes bytes) {
+  const auto& net = job_.machine().cluster.network();
+  const kernel::Kernel& k = job_.kernel();
+
+  CollectiveShape shape{job_.spec().nodes, job_.spec().ranks_per_node, bytes};
+  CollectiveCosts costs;
+  costs.intra_stage = coll_.intra_stage;
+  costs.software_stage = coll_.software_stage;
+  costs.bandwidth_factor = k.network_bw_factor();
+  if (net.kernel_involved_ops > 0.0) {
+    costs.kernel_overhead_per_msg =
+        k.network_syscall_overhead().scaled(net.kernel_involved_ops);
+  }
+  const sim::TimeNs base = allreduce_base_cost(coll_.algo, shape, net, costs);
+
+  // Stall coupling: a rank stalled during (or just before) a blocking
+  // collective stalls the whole dependency tree. Two regimes:
+  //   * sub-critical — the stall ends, the collective completes: pay the
+  //     sampled stall;
+  //   * super-critical — once the expected number of further stalls arriving
+  //     somewhere in the machine *during one stall* reaches one, every stall
+  //     hands over to the next and the collective only completes at the
+  //     stall-recovery bound (the component cap). This threshold in
+  //     rate x duration x cores is the sharp Fig. 5b collapse; the LWKs'
+  //     collective-noise model is empty, so they never enter it.
+  const std::uint64_t cores = global_cores();
+  const sim::TimeNs exposure = base + coll_.stall_exposure;
+  sim::TimeNs stall = coll_extremes_.sample(exposure, cores, rng_).max;
+  // A genuine stall event (not the sub-event mean floor of the sampler)
+  // is on the scale of the component's mean duration.
+  const double event_scale_ns = coll_extremes_.mean_duration_s() * 1e9 * 0.1;
+  if (static_cast<double>(stall.ns()) > event_scale_ns) {
+    const double stalls_per_stall = coll_extremes_.total_rate_hz() *
+                                    coll_extremes_.mean_duration_s() *
+                                    static_cast<double>(cores);
+    const sim::TimeNs cap = coll_extremes_.max_cap();
+    if (stalls_per_stall >= 1.0 && cap > stall) stall = cap;
+  }
+  return base + stall;
+}
+
+void MpiWorld::allreduce(sim::Bytes bytes) {
+  ++allreduces_;
+  synchronize(global_cores(), collective_cost(bytes), SyncKind::kAllreduce);
+}
+
+void MpiWorld::barrier() { allreduce(8); }
+
+void MpiWorld::halo_exchange(sim::Bytes bytes_per_msg, int neighbors) {
+  MKOS_EXPECTS(neighbors >= 0);
+  // Sends in opposite directions overlap; budget ceil(n/2) serialized
+  // message times plus per-message kernel involvement.
+  sim::TimeNs comm = message_cost(bytes_per_msg) * ((neighbors + 1) / 2);
+  const auto& net = job_.machine().cluster.network();
+  if (net.kernel_involved_ops > 0.0 && neighbors > 1) {
+    comm += job_.kernel().network_syscall_overhead().scaled(
+        net.kernel_involved_ops * (neighbors - (neighbors + 1) / 2));
+  }
+  // Neighborhood synchronization: skew is absorbed from a bounded set of
+  // ranks, not the whole machine.
+  const auto sync_cores = static_cast<std::uint64_t>(
+      (neighbors + 1) * job_.spec().threads_per_rank);
+  synchronize(sync_cores, comm, SyncKind::kHalo);
+}
+
+void MpiWorld::send_shift(sim::Bytes bytes) {
+  synchronize(static_cast<std::uint64_t>(2 * job_.spec().threads_per_rank),
+              message_cost(bytes), SyncKind::kShift);
+}
+
+sim::TimeNs MpiWorld::finish() {
+  synchronize(global_cores(), sim::TimeNs{0}, SyncKind::kFinish);
+  return clock_;
+}
+
+}  // namespace mkos::runtime

@@ -1,0 +1,154 @@
+#pragma once
+// The bulk-synchronous MPI-like execution model.
+//
+// Applications drive this API from their timestep loops: accumulate per-rank
+// work (roofline compute, heap churn, system calls), then synchronize with a
+// communication operation. At each synchronization the world advances the
+// global clock by the slowest rank's accumulated work — the maximum over all
+// application cores of (deterministic work + sampled OS noise) — plus the
+// communication cost.
+//
+// Collectives additionally model the noise/duration feedback: a rank stalled
+// *during* an allreduce delays every stage that depends on it, lengthening
+// the collective, which widens the exposure window, which raises the chance
+// of another stall. The fixed point of that recurrence is benign when noise
+// is light (LWKs) and collapses sharply once expected stalls-per-window
+// crosses one (Linux at high node counts) — Fig. 5b's cliff.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernel/syscalls.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/job.hpp"
+#include "runtime/noise_extremes.hpp"
+#include "runtime/shm.hpp"
+
+namespace mkos::runtime {
+
+class MpiWorld {
+ public:
+  MpiWorld(Job& job, std::uint64_t noise_seed);
+
+  // ------------------------------------------------------------ init / info
+  /// MPI_Init: shared-memory segment mapping + runtime bring-up.
+  void mpi_init(sim::Bytes shm_segment_bytes = 128 * sim::MiB);
+
+  [[nodiscard]] int world_size() const { return job_.world_size(); }
+  [[nodiscard]] Job& job() { return job_; }
+
+  /// Refresh cached per-lane bandwidths after the setup phase changed
+  /// placements. Called automatically by mpi_init().
+  void refresh_lanes();
+
+  // ------------------------------------------------- per-rank pending work
+  /// Memory-bandwidth-bound work: every rank streams `bytes` through its
+  /// placement-weighted effective bandwidth.
+  void compute_bytes(sim::Bytes bytes_per_rank);
+  /// Same, with a per-lane scale factor (repeated cyclically) for imbalanced
+  /// decompositions — lane i streams bytes * scale[i % size].
+  void compute_bytes_scaled(sim::Bytes bytes_per_rank,
+                            const std::vector<double>& lane_scale);
+  /// Fixed-duration work (identical on every rank).
+  void compute_time(sim::TimeNs per_rank);
+  /// Flop-bound work at the node's scalar rate, divided among ranks.
+  void compute_flops(double flops_per_rank);
+  /// Spin-wait loops calling sched_yield() (OpenMP barriers, MPI progress).
+  void sched_yields(int count_per_rank);
+  /// Generic system calls issued per rank (priced by kernel disposition).
+  void syscall(kernel::Sys s, int count_per_rank, sim::Bytes payload = 256);
+  /// Run a brk/sbrk sequence on every lane's heap (deltas in bytes), then
+  /// touch the grown memory (Lulesh's allocation churn).
+  void heap_cycle(std::span<const std::int64_t> deltas);
+
+  // -------------------------------------------------- synchronizing comms
+  /// Tree allreduce of `bytes` (per rank) over the whole world.
+  void allreduce(sim::Bytes bytes);
+  /// Nearest-neighbour halo exchange: `neighbors` messages of `bytes` each.
+  void halo_exchange(sim::Bytes bytes_per_msg, int neighbors);
+  /// Global barrier (zero-byte allreduce).
+  void barrier();
+  /// Pairwise shift (ring / pencil transpose step): one large message.
+  void send_shift(sim::Bytes bytes);
+
+  // -------------------------------------------------------------- results
+  /// Drain pending work (final sync) and return the slowest rank's clock.
+  [[nodiscard]] sim::TimeNs finish();
+  [[nodiscard]] sim::TimeNs elapsed() const { return clock_; }
+
+  // ------------------------------------------------------------ statistics
+  [[nodiscard]] std::uint64_t allreduce_count() const { return allreduces_; }
+  [[nodiscard]] sim::TimeNs total_noise_wait() const { return noise_wait_; }
+  [[nodiscard]] sim::TimeNs total_comm_time() const { return comm_time_; }
+  [[nodiscard]] const ShmSetupResult& shm_setup() const { return shm_; }
+
+  /// Collective-model constants (exposed for the ablation bench).
+  struct CollectiveModel {
+    sim::TimeNs intra_stage{600};    ///< shm reduce step within the node
+    sim::TimeNs software_stage{900}; ///< per-stage software overhead
+    /// Window around the collective during which a stall blocks it (entry
+    /// skew + the blocking wait itself).
+    sim::TimeNs stall_exposure{sim::microseconds(200)};
+    /// Allreduce algorithm (kAuto = size-based, like production MPI).
+    AllreduceAlgo algo = AllreduceAlgo::kAuto;
+  };
+  [[nodiscard]] CollectiveModel& collective_model() { return coll_; }
+
+  /// Where the slowest rank's time went (telemetry for reports/benches).
+  struct PhaseBreakdown {
+    sim::TimeNs compute{0};  ///< deterministic per-rank work
+    sim::TimeNs noise{0};    ///< waiting on the slowest core's detours
+    sim::TimeNs comm{0};     ///< network + collective time (incl. stalls)
+  };
+  [[nodiscard]] PhaseBreakdown breakdown() const {
+    return PhaseBreakdown{compute_time_, noise_wait_, comm_time_};
+  }
+
+  /// Per-synchronization trace record (populated when tracing is enabled).
+  enum class SyncKind : std::uint8_t { kAllreduce, kHalo, kShift, kFinish };
+  struct SyncEvent {
+    SyncKind kind;
+    sim::TimeNs span;   ///< slowest lane's accumulated work in this window
+    sim::TimeNs noise;  ///< sampled max detour across the sync scope
+    sim::TimeNs comm;   ///< communication cost, including collective stalls
+    sim::TimeNs clock;  ///< global clock after the event
+  };
+  /// Record every synchronization into an in-memory trace (off by default;
+  /// the trace of a 60-iteration run is a few KiB).
+  void enable_trace(bool on = true) { trace_enabled_ = on; }
+  [[nodiscard]] const std::vector<SyncEvent>& trace() const { return trace_; }
+
+ private:
+  /// Number of application cores noise is drawn over for a global sync.
+  [[nodiscard]] std::uint64_t global_cores() const;
+  /// Close the pending window against `sync_cores`, then add `comm`.
+  void synchronize(std::uint64_t sync_cores, sim::TimeNs comm,
+                   SyncKind kind = SyncKind::kHalo);
+  [[nodiscard]] sim::TimeNs message_cost(sim::Bytes bytes) const;
+  [[nodiscard]] sim::TimeNs collective_cost(sim::Bytes bytes);
+
+  Job& job_;
+  NoiseExtremes extremes_;       ///< per-core compute-window noise
+  NoiseExtremes coll_extremes_;  ///< collective-coupled interference
+  sim::Rng rng_;
+  CollectiveModel coll_;
+
+  std::vector<double> lane_gbps_;
+  double min_lane_gbps_ = 0.0;
+
+  sim::TimeNs clock_{0};
+  sim::TimeNs pending_max_{0};   ///< slowest lane's accumulated work
+  sim::TimeNs pending_uniform_{0};
+  std::vector<sim::TimeNs> lane_pending_;
+
+  sim::TimeNs noise_wait_{0};
+  sim::TimeNs comm_time_{0};
+  sim::TimeNs compute_time_{0};
+  bool trace_enabled_ = false;
+  std::vector<SyncEvent> trace_;
+  std::uint64_t allreduces_ = 0;
+  ShmSetupResult shm_;
+};
+
+}  // namespace mkos::runtime

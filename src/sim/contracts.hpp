@@ -1,0 +1,31 @@
+#pragma once
+// Minimal Expects()/Ensures() style contracts (C++ Core Guidelines I.6/I.8).
+//
+// Violations abort with a message; contracts stay on in release builds
+// because the simulator's correctness is the product.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mkos::sim::detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "mkos: %s violated: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+}  // namespace mkos::sim::detail
+
+#define MKOS_EXPECTS(cond)                                                         \
+  ((cond) ? static_cast<void>(0)                                                   \
+          : ::mkos::sim::detail::contract_failure("precondition", #cond, __FILE__, \
+                                                  __LINE__))
+
+#define MKOS_ENSURES(cond)                                                          \
+  ((cond) ? static_cast<void>(0)                                                    \
+          : ::mkos::sim::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                                  __LINE__))
+
+#define MKOS_ASSERT(cond)                                                        \
+  ((cond) ? static_cast<void>(0)                                                 \
+          : ::mkos::sim::detail::contract_failure("invariant", #cond, __FILE__,  \
+                                                  __LINE__))

@@ -1,0 +1,88 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::sim {
+
+EventQueue::~EventQueue() {
+  for (Entry* e : heap_) delete e;
+}
+
+EventId EventQueue::schedule_at(TimeNs at, Action action) {
+  MKOS_EXPECTS(at >= now_);
+  auto* e = new Entry{at, next_seq_++, next_id_++, std::move(action), false};
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Cmp{});
+  index_.resize(std::max<std::size_t>(index_.size(), e->id));
+  index_[e->id - 1] = e;
+  ++live_;
+  return e->id;
+}
+
+EventId EventQueue::schedule_after(TimeNs delay, Action action) {
+  MKOS_EXPECTS(delay >= TimeNs{0});
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id > index_.size()) return false;
+  Entry* e = index_[id - 1];
+  if (e == nullptr || e->cancelled) return false;
+  e->cancelled = true;
+  e->action = nullptr;
+  index_[id - 1] = nullptr;
+  --live_;
+  return true;
+}
+
+EventQueue::Entry* EventQueue::pop_next() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Cmp{});
+    Entry* e = heap_.back();
+    heap_.pop_back();
+    if (e->cancelled) {
+      delete e;
+      continue;
+    }
+    return e;
+  }
+  return nullptr;
+}
+
+bool EventQueue::step() {
+  Entry* e = pop_next();
+  if (e == nullptr) return false;
+  MKOS_ASSERT(e->at >= now_);
+  now_ = e->at;
+  index_[e->id - 1] = nullptr;
+  --live_;
+  ++executed_;
+  Action action = std::move(e->action);
+  delete e;
+  action();
+  return true;
+}
+
+void EventQueue::run_until(TimeNs limit) {
+  while (true) {
+    Entry* peek = nullptr;
+    while (!heap_.empty() && heap_.front()->cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), Cmp{});
+      delete heap_.back();
+      heap_.pop_back();
+    }
+    if (!heap_.empty()) peek = heap_.front();
+    if (peek == nullptr || peek->at > limit) break;
+    step();
+  }
+  now_ = std::max(now_, limit);
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace mkos::sim

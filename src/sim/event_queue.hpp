@@ -1,0 +1,82 @@
+#pragma once
+// Discrete-event engine.
+//
+// Most of the mkos performance pipeline advances per-rank clocks
+// analytically, but several substrates are genuinely event-driven: the IKC
+// inter-kernel channel, the cooperative/preemptive schedulers, and the noise
+// sources in their trace-producing mode. This engine provides a classic
+// time-ordered queue with stable FIFO ordering among simultaneous events and
+// O(log n) cancellation via handles.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mkos::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `at` (must be >= now()).
+  EventId schedule_at(TimeNs at, Action action);
+
+  /// Schedule `action` `delay` after now().
+  EventId schedule_after(TimeNs delay, Action action);
+
+  /// Cancel a pending event. Returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  /// Run the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or the clock would pass `limit`.
+  /// Events scheduled exactly at `limit` are executed.
+  void run_until(TimeNs limit);
+
+  /// Drain the queue completely.
+  void run();
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimeNs at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    Action action;
+    bool cancelled = false;
+  };
+  struct Cmp {
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  TimeNs now_{0};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
+  std::vector<Entry*> heap_;  // owned; freed on pop or destruction
+
+ public:
+  EventQueue() = default;
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+ private:
+  Entry* pop_next();
+  std::vector<Entry*> index_;  // id -> entry (sparse by id - 1), nulled when done
+};
+
+}  // namespace mkos::sim

@@ -1,0 +1,86 @@
+#include "sim/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::sim {
+
+Histogram::Histogram(double min_value, double max_value, int bins_per_decade)
+    : min_value_(min_value),
+      log_min_(std::log10(min_value)),
+      bins_per_decade_(bins_per_decade) {
+  MKOS_EXPECTS(min_value > 0.0);
+  MKOS_EXPECTS(max_value > min_value);
+  MKOS_EXPECTS(bins_per_decade >= 1);
+  const double decades = std::log10(max_value) - log_min_;
+  counts_.assign(static_cast<std::size_t>(std::ceil(decades * bins_per_decade)), 0);
+  MKOS_ENSURES(!counts_.empty());
+}
+
+void Histogram::add(double v, std::uint64_t count) {
+  total_ += count;
+  if (v < min_value_) {
+    underflow_ += count;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((std::log10(v) - log_min_) * bins_per_decade_);
+  if (idx >= counts_.size()) {
+    overflow_ += count;
+    return;
+  }
+  counts_[idx] += count;
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(i) / bins_per_decade_);
+}
+
+double Histogram::quantile(double q) const {
+  MKOS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen) return min_value_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - seen) / static_cast<double>(counts_[i]);
+      return bin_lower(i) + frac * (bin_upper(i) - bin_lower(i));
+    }
+    seen = next;
+  }
+  return bin_upper(counts_.size() - 1);
+}
+
+std::string Histogram::to_string(int width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) * width);
+    std::snprintf(buf, sizeof buf, "%10.3g - %-10.3g %8llu |", bin_lower(i),
+                  bin_upper(i), static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+    out.append(static_cast<std::size_t>(std::max(bar, 1)), '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(buf, sizeof buf, "underflow: %llu\n",
+                  static_cast<unsigned long long>(underflow_));
+    out += buf;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(buf, sizeof buf, "overflow: %llu\n",
+                  static_cast<unsigned long long>(overflow_));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mkos::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Log-binned histogram for latency/duration distributions.
+//
+// Noise detours and collective stalls span six orders of magnitude
+// (sub-microsecond housekeeping to tens-of-milliseconds stalls); log bins
+// keep the resolution proportional everywhere. Used by the noise ablation
+// and available to users profiling their own models.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mkos::sim {
+
+class Histogram {
+ public:
+  /// Bins cover [min_value, max_value) with `bins_per_decade` log bins;
+  /// under/overflow are tracked separately.
+  Histogram(double min_value, double max_value, int bins_per_decade = 8);
+
+  void add(double v, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bin_lower(std::size_t i) const;
+  [[nodiscard]] double bin_upper(std::size_t i) const { return bin_lower(i + 1); }
+
+  /// Quantile estimate (linear within the containing log bin), q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Compact ASCII rendering (one line per non-empty bin).
+  [[nodiscard]] std::string to_string(int width = 40) const;
+
+ private:
+  double min_value_;
+  double log_min_;
+  double bins_per_decade_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace mkos::sim

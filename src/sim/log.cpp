@@ -1,0 +1,68 @@
+#include "sim/log.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace mkos::sim {
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view msg) {
+    const char* tag = level == LogLevel::kWarn ? "WARN" : level == LogLevel::kInfo ? "INFO" : "DEBUG";
+    std::fprintf(stderr, "[mkos %s] %.*s\n", tag, static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+    return;
+  }
+  const LogLevel keep = level_;
+  *this = Logger{};  // restore the default stderr sink
+  level_ = keep;
+}
+
+void Logger::write(LogLevel level, std::string_view msg) {
+  if (enabled(level)) sink_(level, msg);
+}
+
+std::string to_string(TimeNs t) {
+  char buf[64];
+  const double ns = static_cast<double>(t.ns());
+  const double a = std::fabs(ns);
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%" PRId64 " ns", t.ns());
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ns * 1e-3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ns * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns * 1e-9);
+  }
+  return buf;
+}
+
+std::string bytes_to_string(Bytes b) {
+  char buf[64];
+  if (b < KiB) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  } else if (b < MiB) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(b) / static_cast<double>(KiB));
+  } else if (b < GiB) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", static_cast<double>(b) / static_cast<double>(MiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", static_cast<double>(b) / static_cast<double>(GiB));
+  }
+  return buf;
+}
+
+}  // namespace mkos::sim

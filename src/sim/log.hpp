@@ -1,0 +1,60 @@
+#pragma once
+// Leveled logging for simulator internals.
+//
+// Off by default so benches stay quiet; tests and examples flip the level to
+// inspect kernel decisions (placement, offload routing, noise events).
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mkos::sim {
+
+enum class LogLevel { kOff = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// The process-wide logger used by kernel models. Intentionally a single
+  /// mutable service object (exception to I.2 noted: logging is cross-cutting).
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replace the sink (default: stderr). Pass nullptr to restore the default.
+  void set_sink(Sink sink);
+
+  void write(LogLevel level, std::string_view msg);
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) <= static_cast<int>(level_) && level_ != LogLevel::kOff;
+  }
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+namespace detail {
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  Logger& lg = Logger::instance();
+  if (!lg.enabled(level)) return;
+  std::ostringstream os;
+  (os << ... << args);
+  lg.write(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_warn(Args&&... args) { detail::log(LogLevel::kWarn, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_info(Args&&... args) { detail::log(LogLevel::kInfo, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_debug(Args&&... args) { detail::log(LogLevel::kDebug, std::forward<Args>(args)...); }
+
+}  // namespace mkos::sim

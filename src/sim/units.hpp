@@ -1,0 +1,38 @@
+#pragma once
+// Byte-size units and helpers shared by the memory and network substrates.
+
+#include <cstdint>
+#include <string>
+
+namespace mkos::sim {
+
+using Bytes = std::uint64_t;
+
+constexpr Bytes KiB = 1024ULL;
+constexpr Bytes MiB = 1024ULL * KiB;
+constexpr Bytes GiB = 1024ULL * MiB;
+
+/// Round `v` up to a multiple of `align` (align must be a power of two).
+[[nodiscard]] constexpr Bytes align_up(Bytes v, Bytes align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round `v` down to a multiple of `align` (align must be a power of two).
+[[nodiscard]] constexpr Bytes align_down(Bytes v, Bytes align) {
+  return v & ~(align - 1);
+}
+
+[[nodiscard]] constexpr bool is_aligned(Bytes v, Bytes align) {
+  return (v & (align - 1)) == 0;
+}
+
+/// Human-readable rendering ("1.5 GiB", "64 KiB", ...).
+[[nodiscard]] std::string bytes_to_string(Bytes b);
+
+namespace literals {
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * GiB; }
+}  // namespace literals
+
+}  // namespace mkos::sim

@@ -1,0 +1,86 @@
+// AMG 2013 — BoomerAMG algebraic multigrid solver (paper ref [12]).
+//
+// Weak-scaled. 32 ranks x 8 threads per node. Each solve iteration is a
+// V-cycle: smoother sweeps on a hierarchy of coarsening levels. Fine levels
+// are bandwidth-bound with large halo messages; coarse levels have almost no
+// compute but still synchronize, so the per-level windows shrink toward
+// communication latency — plus AMG's OpenMP regions spin on sched_yield().
+// This is the application the paper's `--mpol-shm-premap` and
+// `--disable-sched-yield` McKernel options buy 9% on (16 nodes).
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/app.hpp"
+
+namespace mkos::workloads {
+
+namespace {
+
+using sim::KiB;
+using sim::MiB;
+
+class AmgApp final : public App {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "AMG2013"; }
+  [[nodiscard]] std::string_view metric() const override { return "FOM(nnz*it/s)"; }
+
+  [[nodiscard]] runtime::JobSpec spec(int nodes) const override {
+    return runtime::JobSpec{nodes, 32, 8};
+  }
+
+  void setup(runtime::Job& job) override {
+    tune_linux_mcdram_bind(job);
+    alloc_working_set(job, kWsPerRank);
+    // hypre allocates aggressively from the heap during setup.
+    init_heap(job, 96 * MiB);
+  }
+
+  [[nodiscard]] AppResult run(runtime::Job& job, runtime::MpiWorld& world) override {
+    world.mpi_init();
+    const int levels =
+        3 + std::max(1, static_cast<int>(std::log2(std::max(2, job.spec().nodes))));
+    const double ranks = world.world_size();
+    // hypre's cycle allocates and frees auxiliary vectors from the heap.
+    const std::int64_t churn[] = {kHeapChurn, -kHeapChurn};
+    for (int it = 0; it < kSimIters; ++it) {
+      world.heap_cycle(churn);
+      // Down + up sweep of the V-cycle.
+      for (int lvl = 0; lvl < levels; ++lvl) {
+        const double shrink = std::pow(0.5, lvl);  // per-dimension coarsening
+        const auto traffic =
+            static_cast<sim::Bytes>(static_cast<double>(kFineTraffic) * shrink * shrink * shrink);
+        if (traffic > 0) world.compute_bytes(std::max<sim::Bytes>(traffic, 4 * KiB));
+        // OpenMP join barrier per smoother sweep.
+        world.sched_yields(kYieldsPerLevel);
+        const auto halo = static_cast<sim::Bytes>(
+            std::max(2.0 * KiB, static_cast<double>(kFineHalo) * shrink * shrink));
+        world.halo_exchange(halo, 6);
+      }
+      // Convergence check after the cycle.
+      world.allreduce(8);
+    }
+    const sim::TimeNs t = world.finish();
+    AppResult r;
+    r.unit = metric();
+    r.elapsed = t;
+    // BoomerAMG's figure of merit: (nnz touched * iterations) / solve time.
+    r.fom = kNnzPerRank * ranks * kSimIters / t.sec();
+    return r;
+  }
+
+ private:
+  static constexpr sim::Bytes kWsPerRank = 300 * MiB;   // 32 ranks -> 9.4 GiB/node
+  static constexpr sim::Bytes kFineTraffic = 260 * MiB; // finest-level sweeps
+  static constexpr sim::Bytes kFineHalo = 192 * KiB;
+  static constexpr std::int64_t kHeapChurn = 256 * 1024;
+  static constexpr int kYieldsPerLevel = 220;           // OpenMP spin-wait exits
+  static constexpr double kNnzPerRank = 8.1e6;
+  static constexpr int kSimIters = 18;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_amg2013() { return std::make_unique<AmgApp>(); }
+
+}  // namespace mkos::workloads

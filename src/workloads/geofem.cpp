@@ -1,0 +1,71 @@
+// GeoFEM — parallel iterative solver with selective-blocking preconditioning
+// for nonlinear contact problems (paper ref [14], Nakajima).
+//
+// Weak-scaled. 32 ranks x 8 threads per node. ICCG iterations: a couple of
+// matrix/vector passes per iteration, a halo exchange over the contact-mesh
+// neighbours, and *three* dot-product allreduces per iteration (ICCG needs
+// rho, alpha and the norm). The higher collective frequency relative to its
+// window makes GeoFEM more noise-sensitive than HPCG — its Fig. 4 ratios
+// climb visibly with node count.
+
+#include "workloads/app.hpp"
+
+namespace mkos::workloads {
+
+namespace {
+
+using sim::MiB;
+
+class GeoFemApp final : public App {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "GeoFEM"; }
+  [[nodiscard]] std::string_view metric() const override { return "GFLOP/s"; }
+
+  [[nodiscard]] runtime::JobSpec spec(int nodes) const override {
+    return runtime::JobSpec{nodes, 32, 8};
+  }
+
+  void setup(runtime::Job& job) override {
+    tune_linux_mcdram_bind(job);
+    alloc_working_set(job, kWsPerRank);
+    init_heap(job, 16 * MiB);
+  }
+
+  [[nodiscard]] AppResult run(runtime::Job& job, runtime::MpiWorld& world) override {
+    (void)job;
+    world.mpi_init();
+    const double ranks = world.world_size();
+    // Contact-search rebuilds reallocate work arrays from the heap each
+    // nonlinear iteration (selective blocking changes the block structure).
+    const std::int64_t churn[] = {kHeapChurn, -kHeapChurn};
+    for (int it = 0; it < kSimIters; ++it) {
+      world.heap_cycle(churn);
+      world.compute_bytes(kTrafficPerIter);
+      world.compute_flops(kFlopsPerIter);
+      world.halo_exchange(64 * sim::KiB, 6);
+      world.allreduce(8);   // rho
+      world.compute_bytes(kTrafficPerIter / 4);  // preconditioner back-solve
+      world.allreduce(8);   // alpha
+      world.allreduce(8);   // convergence norm
+    }
+    const sim::TimeNs t = world.finish();
+    AppResult r;
+    r.unit = metric();
+    r.elapsed = t;
+    r.fom = kFlopsPerIter * ranks * kSimIters / t.sec() / 1e9;
+    return r;
+  }
+
+ private:
+  static constexpr sim::Bytes kWsPerRank = 360 * MiB;       // 32 ranks -> 11.3 GiB/node
+  static constexpr sim::Bytes kTrafficPerIter = 540 * MiB;  // ~1.5 passes / sub-step
+  static constexpr double kFlopsPerIter = 95e6;
+  static constexpr std::int64_t kHeapChurn = 1024 * 1024;
+  static constexpr int kSimIters = 25;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_geofem() { return std::make_unique<GeoFemApp>(); }
+
+}  // namespace mkos::workloads

@@ -1,0 +1,67 @@
+// HPCG — multigrid-preconditioned conjugate gradient (paper ref [15]).
+//
+// Weak-scaled. 64 ranks x 4 threads per node. The working set (sparse
+// matrix + MG hierarchy + vectors) fits in MCDRAM; each iteration streams
+// the full hierarchy a handful of times (SpMV + SymGS on every level), does
+// a face halo exchange, and synchronizes on two dot-product allreduces.
+// Bandwidth-bound with long compute windows: the LWK advantage here is the
+// steady large-page/no-fault margin, growing mildly with node count as the
+// allreduces pick up the Linux noise tail.
+
+#include "workloads/app.hpp"
+
+namespace mkos::workloads {
+
+namespace {
+
+using sim::MiB;
+
+class HpcgApp final : public App {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "HPCG"; }
+  [[nodiscard]] std::string_view metric() const override { return "GFLOP/s"; }
+
+  [[nodiscard]] runtime::JobSpec spec(int nodes) const override {
+    return runtime::JobSpec{nodes, 64, 4};
+  }
+
+  void setup(runtime::Job& job) override {
+    tune_linux_mcdram_bind(job);
+    alloc_working_set(job, kWsPerRank);
+    init_heap(job, 8 * MiB);
+  }
+
+  [[nodiscard]] AppResult run(runtime::Job& job, runtime::MpiWorld& world) override {
+    (void)job;
+    world.mpi_init();
+    const double ranks = world.world_size();
+    for (int it = 0; it < kSimIters; ++it) {
+      // SpMV + two SymGS sweeps over the full MG hierarchy: ~6 passes.
+      world.compute_bytes(kTrafficPerIter);
+      world.compute_flops(kFlopsPerIter);
+      // 3D face halos: 6 neighbours, fine level dominates.
+      world.halo_exchange(96 * sim::KiB, 6);
+      // Two dot products per CG iteration.
+      world.allreduce(8);
+      world.allreduce(8);
+    }
+    const sim::TimeNs t = world.finish();
+    AppResult r;
+    r.unit = metric();
+    r.elapsed = t;
+    r.fom = kFlopsPerIter * ranks * kSimIters / t.sec() / 1e9;
+    return r;
+  }
+
+ private:
+  static constexpr sim::Bytes kWsPerRank = 192 * MiB;       // 64 ranks -> 12 GiB/node
+  static constexpr sim::Bytes kTrafficPerIter = 1150 * MiB; // ~6 hierarchy passes
+  static constexpr double kFlopsPerIter = 145e6;            // ~0.12 flop/byte
+  static constexpr int kSimIters = 22;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_hpcg() { return std::make_unique<HpcgApp>(); }
+
+}  // namespace mkos::workloads

@@ -1,0 +1,103 @@
+// LAMMPS — classical molecular dynamics, Lennard-Jones weak-scaling deck
+// (lj.weak.4x2x2x7900; paper ref [16]).
+//
+// 64 ranks x 2 threads per node. Per timestep: neighbour-list force
+// computation (cache-friendly, partly flop-bound), then ghost-atom exchange
+// with the 6 face neighbours. The reproduction-critical property: "the Intel
+// Omni-Path network involves system calls for certain operations and LAMMPS
+// utilizes communication routines that rely on those" — every off-node send
+// is chunked through device-file writes, which the LWKs must offload to
+// Linux. Single-node runs favour the LWKs (memory margins); at scale the
+// offload tax flips the ordering and Linux wins (Fig. 6b).
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/app.hpp"
+
+namespace mkos::workloads {
+
+namespace {
+
+using sim::KiB;
+using sim::MiB;
+
+class LammpsApp final : public App {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "LAMMPS"; }
+  [[nodiscard]] std::string_view metric() const override { return "timesteps/s"; }
+
+  [[nodiscard]] std::vector<int> node_counts() const override {
+    // Fig. 6b x-axis.
+    return {16, 32, 64, 128, 256, 512, 1024, 2048};
+  }
+
+  [[nodiscard]] runtime::JobSpec spec(int nodes) const override {
+    return runtime::JobSpec{nodes, 64, 2};
+  }
+
+  void setup(runtime::Job& job) override {
+    tune_linux_mcdram_bind(job);
+    alloc_working_set(job, kWsPerRank);
+    init_heap(job, 24 * MiB);  // neighbour lists are rebuilt from the heap
+  }
+
+  [[nodiscard]] AppResult run(runtime::Job& job, runtime::MpiWorld& world) override {
+    world.mpi_init();
+    const int nodes = job.spec().nodes;
+    // Fraction of a rank's ghost-exchange volume that crosses the node
+    // boundary. The lj.weak deck's elongated global decomposition pushes
+    // more directions off-node as replicas are added.
+    const double off_node = off_node_fraction(nodes);
+    // Off-node sends go through the hfi1 device file in MTU-sized chunks —
+    // the system calls the LWKs must offload. A user-space-driven fabric
+    // (the Section IV outlook) has no such path.
+    const bool kernel_fabric =
+        job.machine().cluster.network().kernel_involved_ops > 0.0;
+    const int device_ops_per_step =
+        kernel_fabric
+            ? static_cast<int>(std::ceil(off_node * 6.0 * (kGhostBytes / (2.5 * KiB))))
+            : 0;
+    // Neighbour-list maintenance reallocates from the heap every step
+    // (delta rebuilds; full rebuilds amortized): the LWKs' HPC brk() edge.
+    const std::int64_t churn[] = {kNeighborChurn, -kNeighborChurn};
+
+    for (int it = 0; it < kSimIters; ++it) {
+      world.heap_cycle(churn);
+      world.compute_bytes(kTrafficPerStep);
+      world.compute_flops(kFlopsPerStep);
+      if (device_ops_per_step > 0) {
+        world.syscall(kernel::Sys::kWritev, device_ops_per_step, 3 * KiB);
+      }
+      world.halo_exchange(kGhostBytes, 6);
+      if (it % 50 == 0) world.allreduce(48);  // thermo output reduction
+    }
+    const sim::TimeNs t = world.finish();
+    AppResult r;
+    r.unit = metric();
+    r.elapsed = t;
+    r.fom = kSimIters / t.sec();
+    return r;
+  }
+
+ private:
+  [[nodiscard]] static double off_node_fraction(int nodes) {
+    if (nodes <= 1) return 0.0;
+    // Grows with the machine until every ghost direction of the per-node
+    // rank block has an off-node component.
+    return std::min(1.0, 0.3 + 0.1 * std::log2(static_cast<double>(nodes) / 16.0));
+  }
+
+  static constexpr sim::Bytes kWsPerRank = 96 * MiB;
+  static constexpr sim::Bytes kTrafficPerStep = 22 * MiB;
+  static constexpr double kFlopsPerStep = 60e6;
+  static constexpr sim::Bytes kGhostBytes = 72 * KiB;
+  static constexpr std::int64_t kNeighborChurn = 200 * 1024;
+  static constexpr int kSimIters = 300;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_lammps() { return std::make_unique<LammpsApp>(); }
+
+}  // namespace mkos::workloads

@@ -1,0 +1,86 @@
+// MiniFE — implicit finite-element proxy, CG solve (paper ref [19]).
+//
+// The one benchmark the paper did NOT weak-scale: the global 660x660x660
+// problem is divided across ranks, so per-rank work *shrinks* with node
+// count while the two dot-product allreduces per CG iteration stay. At
+// 1,024 nodes (65,536 ranks) the compute window is down to ~100 us and the
+// iteration is at the mercy of the collective: on the LWKs it keeps scaling,
+// on Linux the noise tail lands inside nearly every allreduce and aggregate
+// Mflops collapse — "that apparent performance gain is actually due to Linux
+// performance dropping precariously" (Fig. 5b; 6.47x / 7.01x in Fig. 4).
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/app.hpp"
+
+namespace mkos::workloads {
+
+namespace {
+
+using sim::MiB;
+
+class MiniFeApp final : public App {
+ public:
+  explicit MiniFeApp(int nx) : nx_(nx) {}
+
+  [[nodiscard]] std::string_view name() const override { return "MiniFE"; }
+  [[nodiscard]] std::string_view metric() const override { return "Mflops"; }
+
+  [[nodiscard]] std::vector<int> node_counts() const override {
+    // Fig. 5b x-axis.
+    return {16, 32, 64, 128, 256, 512, 1024};
+  }
+
+  [[nodiscard]] runtime::JobSpec spec(int nodes) const override {
+    return runtime::JobSpec{nodes, 64, 4};
+  }
+
+  void setup(runtime::Job& job) override {
+    tune_linux_mcdram_bind(job);
+    const double rows = rows_per_rank(job.spec().nodes);
+    // ~500 B/row: 27-point stencil CRS row (27 x (8+4) B) + solver vectors.
+    const auto ws = static_cast<sim::Bytes>(rows * 500.0);
+    alloc_working_set(job, std::max<sim::Bytes>(ws, 4 * MiB));
+    init_heap(job, 8 * MiB);
+  }
+
+  [[nodiscard]] AppResult run(runtime::Job& job, runtime::MpiWorld& world) override {
+    world.mpi_init();
+    const double rows = rows_per_rank(job.spec().nodes);
+    const auto traffic = static_cast<sim::Bytes>(rows * 390.0);  // SpMV + axpys
+    const double flops_per_iter = rows * 62.0;  // 2*27 SpMV + 4*2 vector ops
+    const auto halo_bytes = static_cast<sim::Bytes>(
+        std::max(2048.0, 8.0 * std::pow(rows, 2.0 / 3.0)));
+
+    for (int it = 0; it < kSimIters; ++it) {
+      world.compute_bytes(std::max<sim::Bytes>(traffic, 4096));
+      world.compute_flops(flops_per_iter);
+      // MPI progress / OpenMP spin-waits between phases.
+      world.sched_yields(150);
+      world.halo_exchange(halo_bytes, 6);
+      world.allreduce(8);  // r.z
+      world.allreduce(8);  // p.Ap
+    }
+    const sim::TimeNs t = world.finish();
+    AppResult r;
+    r.unit = metric();
+    r.elapsed = t;
+    r.fom = flops_per_iter * world.world_size() * kSimIters / t.sec() / 1e6;
+    return r;
+  }
+
+ private:
+  [[nodiscard]] double rows_per_rank(int nodes) const {
+    return static_cast<double>(nx_) * nx_ * nx_ / (64.0 * nodes);
+  }
+
+  int nx_;
+  static constexpr int kSimIters = 60;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_minife(int nx) { return std::make_unique<MiniFeApp>(nx); }
+
+}  // namespace mkos::workloads

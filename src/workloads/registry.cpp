@@ -1,0 +1,33 @@
+// Workload registry: factories by name + the Fig. 4 suite.
+
+#include "workloads/app.hpp"
+
+namespace mkos::workloads {
+
+std::vector<std::unique_ptr<App>> make_fig4_apps() {
+  // Fig. 4 order: AMG2013, CCS-QCD, GeoFEM, HPCG, LAMMPS, MILC, MiniFE
+  // ("We left out Lulesh 2.0 since it uses different node counts").
+  std::vector<std::unique_ptr<App>> apps;
+  apps.push_back(make_amg2013());
+  apps.push_back(make_ccs_qcd());
+  apps.push_back(make_geofem());
+  apps.push_back(make_hpcg());
+  apps.push_back(make_lammps());
+  apps.push_back(make_milc());
+  apps.push_back(make_minife());
+  return apps;
+}
+
+std::unique_ptr<App> make_app(std::string_view name) {
+  if (name == "AMG2013") return make_amg2013();
+  if (name == "CCS-QCD") return make_ccs_qcd();
+  if (name == "GeoFEM") return make_geofem();
+  if (name == "HPCG") return make_hpcg();
+  if (name == "LAMMPS") return make_lammps();
+  if (name == "Lulesh2.0") return make_lulesh();
+  if (name == "MILC") return make_milc();
+  if (name == "MiniFE") return make_minife();
+  return nullptr;
+}
+
+}  // namespace mkos::workloads

@@ -1,0 +1,143 @@
+// Per-application mechanism tests: each app proxy must exercise the kernel
+// mechanism the paper attributes its result to.
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "runtime/simmpi.hpp"
+#include "workloads/app.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::workloads;
+using core::SystemConfig;
+using runtime::Job;
+using runtime::Machine;
+using runtime::MpiWorld;
+
+struct Ran {
+  Machine machine;
+  Job job;
+  MpiWorld world;
+  AppResult result;
+
+  Ran(App& app, kernel::OsKind os, int nodes, bool trace = false)
+      : machine(SystemConfig::for_os(os).machine(nodes)),
+        job(machine, app.spec(nodes), 11),
+        world(job, 13) {
+    app.setup(job);
+    if (trace) world.enable_trace();
+    result = app.run(job, world);
+  }
+};
+
+// AMG: V-cycle depth grows with machine size -> more sync points per
+// iteration at scale (visible in the trace).
+TEST(AppDetail, AmgCycleDepthGrowsWithNodes) {
+  auto app = make_amg2013();
+  Ran small{*app, kernel::OsKind::kMcKernel, 2, true};
+  Ran large{*app, kernel::OsKind::kMcKernel, 1024, true};
+  EXPECT_GT(large.world.trace().size(), small.world.trace().size() * 2);
+}
+
+// AMG exercises sched_yield (the --disable-sched-yield target): the hijack
+// must change its runtime on McKernel.
+TEST(AppDetail, AmgSensitiveToYieldHijack) {
+  auto app = make_amg2013();
+  Ran plain{*app, kernel::OsKind::kMcKernel, 4};
+  SystemConfig tuned_cfg = SystemConfig::mckernel();
+  tuned_cfg.mckernel_disable_sched_yield = true;
+  Machine m = tuned_cfg.machine(4);
+  Job job{m, app->spec(4), 11};
+  app->setup(job);
+  MpiWorld world{job, 13};
+  const AppResult tuned = app->run(job, world);
+  EXPECT_GT(tuned.fom / plain.result.fom, 1.02);
+}
+
+// CCS-QCD: the only workload whose per-node working set exceeds MCDRAM.
+TEST(AppDetail, CcsQcdOversubscribesMcdram) {
+  auto app = make_ccs_qcd();
+  Ran r{*app, kernel::OsKind::kMcKernel, 1};
+  sim::Bytes ws = 0;
+  for (int i = 0; i < r.job.lane_count(); ++i) {
+    r.job.lane(i).address_space().for_each([&](const mem::Vma& v) {
+      if (v.kind != mem::VmaKind::kShm) ws += v.length;
+    });
+  }
+  EXPECT_GT(ws, r.job.node().topo().total_capacity(hw::MemKind::kMcdram));
+}
+
+// HPCG by contrast fits (the paper: "All but CCS-QCD were sized to fit
+// entirely into MCDRAM") — so do the others at representative node counts.
+TEST(AppDetail, OtherAppsFitInMcdram) {
+  for (const char* name : {"AMG2013", "GeoFEM", "HPCG", "LAMMPS", "MILC"}) {
+    auto app = make_app(name);
+    Ran r{*app, kernel::OsKind::kMcKernel, 16};
+    EXPECT_GT(r.job.lane_fraction_in(0, hw::MemKind::kMcdram), 0.95) << name;
+  }
+}
+
+// MILC synchronizes every iteration with short windows: per-sync compute
+// span must be well under a GeoFEM/HPCG window (the scale-sensitivity knob).
+TEST(AppDetail, MilcWindowsAreShort) {
+  auto milc = make_milc();
+  auto hpcg = make_hpcg();
+  Ran rm{*milc, kernel::OsKind::kMcKernel, 16, true};
+  Ran rh{*hpcg, kernel::OsKind::kMcKernel, 16, true};
+  // The compute span lands on the halo sync that precedes each allreduce;
+  // compare the mean synchronization window across all events.
+  auto mean_span = [](const MpiWorld& w) {
+    double acc = 0;
+    int n = 0;
+    for (const auto& e : w.trace()) {
+      if (e.span.ns() > 0) {
+        acc += e.span.sec();
+        ++n;
+      }
+    }
+    return n ? acc / n : 0.0;
+  };
+  EXPECT_LT(mean_span(rm.world) * 5, mean_span(rh.world));
+}
+
+// Lulesh: the dt-allreduce makes it the only cubic-decomposition app with a
+// global sync per step; its heap cycle must run on every iteration.
+TEST(AppDetail, LuleshBrkCallsScaleWithIterations) {
+  auto app = make_lulesh(30, false, 50);
+  Ran r{*app, kernel::OsKind::kMos, 1};
+  const auto& stats = r.job.lane(0).heap()->stats();
+  // 50 iterations x (>= 12 calls) + the setup sbrk.
+  EXPECT_GE(stats.calls(), 50u * 12);
+  EXPECT_LT(stats.calls(), 50u * 16);
+}
+
+// GeoFEM does three allreduces per iteration (rho, alpha, norm).
+TEST(AppDetail, GeoFemThreeAllreducesPerIteration) {
+  auto app = make_geofem();
+  Ran r{*app, kernel::OsKind::kMcKernel, 4};
+  // 25 iterations x 3 + MPI_Init barrier-free: exactly 75 + finish.
+  EXPECT_EQ(r.world.allreduce_count(), 75u);
+}
+
+// LAMMPS thermo output is rare — its allreduce count must be far below the
+// step count (the device writes, not collectives, are its kernel story).
+TEST(AppDetail, LammpsCollectivesAreRare) {
+  auto app = make_lammps();
+  Ran r{*app, kernel::OsKind::kLinux, 16};
+  EXPECT_LT(r.world.allreduce_count(), 10u);
+}
+
+// Every app's FOM unit survives the full pipeline.
+TEST(AppDetail, MetricsAndUnitsAgree) {
+  for (const char* name :
+       {"AMG2013", "CCS-QCD", "GeoFEM", "HPCG", "LAMMPS", "MILC", "MiniFE"}) {
+    auto app = make_app(name);
+    Ran r{*app, kernel::OsKind::kMos, 16};
+    EXPECT_EQ(r.result.unit, app->metric()) << name;
+    EXPECT_GT(r.result.fom, 0.0) << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Unit tests: collective algorithm cost models.
+
+#include <gtest/gtest.h>
+
+#include "hw/network.hpp"
+#include "runtime/collectives.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::runtime;
+using mkos::sim::KiB;
+using mkos::sim::MiB;
+
+class CollectivesTest : public ::testing::Test {
+ protected:
+  hw::NetworkModel net_ = hw::omni_path_100();
+  CollectiveCosts costs_;
+};
+
+TEST_F(CollectivesTest, StageCounts) {
+  const CollectiveShape shape{1024, 64, 8};
+  EXPECT_EQ(allreduce_stages(AllreduceAlgo::kRecursiveDoubling, shape), 10);
+  EXPECT_EQ(allreduce_stages(AllreduceAlgo::kRabenseifner, shape), 20);
+  EXPECT_EQ(allreduce_stages(AllreduceAlgo::kRing, shape), 2 * 1023);
+  EXPECT_EQ(allreduce_stages(AllreduceAlgo::kReduceBroadcast, shape), 20);
+}
+
+TEST_F(CollectivesTest, SingleNodeIsIntraOnly) {
+  const CollectiveShape shape{1, 64, 1 * MiB};
+  for (auto a : {AllreduceAlgo::kRecursiveDoubling, AllreduceAlgo::kRing,
+                 AllreduceAlgo::kRabenseifner}) {
+    const auto t = allreduce_base_cost(a, shape, net_, costs_);
+    EXPECT_LT(t.us(), 20.0) << to_string(a);
+    EXPECT_GT(t.ns(), 0) << to_string(a);
+  }
+}
+
+TEST_F(CollectivesTest, RecursiveDoublingWinsSmallMessages) {
+  const CollectiveShape shape{512, 64, 8};
+  const auto rd = allreduce_base_cost(AllreduceAlgo::kRecursiveDoubling, shape, net_, costs_);
+  const auto ring = allreduce_base_cost(AllreduceAlgo::kRing, shape, net_, costs_);
+  const auto rab = allreduce_base_cost(AllreduceAlgo::kRabenseifner, shape, net_, costs_);
+  EXPECT_LT(rd, ring);
+  EXPECT_LT(rd, rab);
+}
+
+TEST_F(CollectivesTest, BandwidthOptimalAlgosWinLargeMessages) {
+  const CollectiveShape shape{64, 64, 16 * MiB};
+  const auto rd = allreduce_base_cost(AllreduceAlgo::kRecursiveDoubling, shape, net_, costs_);
+  const auto ring = allreduce_base_cost(AllreduceAlgo::kRing, shape, net_, costs_);
+  const auto rab = allreduce_base_cost(AllreduceAlgo::kRabenseifner, shape, net_, costs_);
+  EXPECT_LT(ring, rd);
+  EXPECT_LT(rab, rd);
+}
+
+TEST_F(CollectivesTest, CostMonotoneInNodes) {
+  for (auto a : {AllreduceAlgo::kRecursiveDoubling, AllreduceAlgo::kRabenseifner,
+                 AllreduceAlgo::kRing, AllreduceAlgo::kReduceBroadcast}) {
+    sim::TimeNs prev{0};
+    for (int nodes : {2, 16, 128, 1024}) {
+      const auto t = allreduce_base_cost(a, CollectiveShape{nodes, 64, 64 * KiB},
+                                         net_, costs_);
+      EXPECT_GE(t, prev) << to_string(a) << " nodes=" << nodes;
+      prev = t;
+    }
+  }
+}
+
+TEST_F(CollectivesTest, CostMonotoneInPayload) {
+  for (auto a : {AllreduceAlgo::kRecursiveDoubling, AllreduceAlgo::kRabenseifner,
+                 AllreduceAlgo::kRing}) {
+    sim::TimeNs prev{0};
+    for (sim::Bytes b : {sim::Bytes{8}, 4 * KiB, 256 * KiB, 4 * MiB}) {
+      const auto t = allreduce_base_cost(a, CollectiveShape{256, 64, b}, net_, costs_);
+      EXPECT_GE(t, prev) << to_string(a);
+      prev = t;
+    }
+  }
+}
+
+TEST_F(CollectivesTest, KernelOverheadChargedPerStage) {
+  CollectiveCosts taxed = costs_;
+  taxed.kernel_overhead_per_msg = sim::microseconds(5);
+  const CollectiveShape shape{256, 64, 8};
+  const auto plain =
+      allreduce_base_cost(AllreduceAlgo::kRecursiveDoubling, shape, net_, costs_);
+  const auto with_tax =
+      allreduce_base_cost(AllreduceAlgo::kRecursiveDoubling, shape, net_, taxed);
+  const int stages = allreduce_stages(AllreduceAlgo::kRecursiveDoubling, shape);
+  EXPECT_EQ((with_tax - plain).ns(), stages * 5000);
+}
+
+TEST_F(CollectivesTest, BandwidthFactorDeratesWireTime) {
+  CollectiveCosts derated = costs_;
+  derated.bandwidth_factor = 0.5;
+  const CollectiveShape shape{64, 64, 4 * MiB};
+  const auto full = allreduce_base_cost(AllreduceAlgo::kRing, shape, net_, costs_);
+  const auto half = allreduce_base_cost(AllreduceAlgo::kRing, shape, net_, derated);
+  EXPECT_GT(half.ns(), full.ns());
+}
+
+TEST_F(CollectivesTest, AutoPolicySwitchPoints) {
+  EXPECT_EQ(allreduce_pick({1024, 64, 8}), AllreduceAlgo::kRecursiveDoubling);
+  EXPECT_EQ(allreduce_pick({1024, 64, 64 * KiB}), AllreduceAlgo::kRabenseifner);
+  EXPECT_EQ(allreduce_pick({16, 64, 16 * MiB}), AllreduceAlgo::kRing);
+  EXPECT_EQ(allreduce_pick({1024, 64, 16 * MiB}), AllreduceAlgo::kRabenseifner);
+}
+
+TEST_F(CollectivesTest, AutoResolvesToConcreteCost) {
+  const CollectiveShape shape{128, 64, 8};
+  EXPECT_EQ(allreduce_base_cost(AllreduceAlgo::kAuto, shape, net_, costs_),
+            allreduce_base_cost(AllreduceAlgo::kRecursiveDoubling, shape, net_, costs_));
+}
+
+TEST_F(CollectivesTest, AlgoNames) {
+  EXPECT_EQ(to_string(AllreduceAlgo::kRing), "ring");
+  EXPECT_EQ(to_string(AllreduceAlgo::kAuto), "auto");
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Unit tests: the LTP-style compatibility suite (paper Section III-D).
+
+#include <gtest/gtest.h>
+
+#include "compat/ltp.hpp"
+#include "hw/knl.hpp"
+#include "kernel/node.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::compat;
+using namespace mkos::kernel;
+
+class CompatFixture : public ::testing::Test {
+ protected:
+  LtpSuite suite_ = LtpSuite::standard();
+  Node linux_node_{hw::knl_snc4_flat(), NodeOsConfig::linux_default(), 1};
+  Node mck_node_{hw::knl_snc4_flat(), NodeOsConfig::mckernel_default(), 2};
+  Node mos_node_{hw::knl_snc4_flat(), NodeOsConfig::mos_default(), 3};
+};
+
+TEST_F(CompatFixture, CatalogHas3328Cases) {
+  EXPECT_EQ(suite_.size(), 3328);
+}
+
+TEST_F(CompatFixture, LinuxPassesEverything) {
+  const Report r = suite_.run(linux_node_.app_kernel());
+  EXPECT_EQ(r.failed, 0) << "Linux is the yardstick";
+  EXPECT_EQ(r.passed, 3328);
+}
+
+TEST_F(CompatFixture, McKernelFails32) {
+  // "Concentrating only on system calls, McKernel passes all but 32."
+  const Report r = suite_.run(mck_node_.app_kernel());
+  EXPECT_EQ(r.failed, 32);
+}
+
+TEST_F(CompatFixture, ElevenMcKernelFailuresAreMovePages) {
+  // "Eleven of the 32 failing experiments attempt to test various
+  // combinations of the move_pages() system call."
+  const Report r = suite_.run(mck_node_.app_kernel());
+  const auto it = r.failures_by_family.find("move_pages");
+  ASSERT_NE(it, r.failures_by_family.end());
+  EXPECT_EQ(it->second, 11);
+}
+
+TEST_F(CompatFixture, MosFails111) {
+  // "For mOS the numbers are more bleak: 111 tests out of 3,328 fail."
+  const Report r = suite_.run(mos_node_.app_kernel());
+  EXPECT_EQ(r.failed, 111);
+}
+
+TEST_F(CompatFixture, MosPtraceFourOfFiveFail) {
+  const Report r = suite_.run(mos_node_.app_kernel());
+  const auto it = r.failures_by_family.find("ptrace");
+  ASSERT_NE(it, r.failures_by_family.end());
+  EXPECT_EQ(it->second, 4);
+}
+
+TEST_F(CompatFixture, MosFailuresDominatedByForkCascade) {
+  const Report r = suite_.run(mos_node_.app_kernel());
+  int fork_related = 0;
+  for (const auto& t : suite_.cases()) {
+    if ((t.fork_setup || t.sys == Sys::kFork || t.sys == Sys::kVfork) &&
+        !LtpSuite::passes(t, mos_node_.app_kernel())) {
+      ++fork_related;
+    }
+  }
+  EXPECT_GE(fork_related, 80);
+  EXPECT_GT(static_cast<double>(fork_related) / r.failed, 0.6);
+}
+
+TEST_F(CompatFixture, BrkShrinkTestsFailOnHpcHeapOnly) {
+  // "tests that expect a page fault fail. Such a test looks for Linux
+  // behavior that HPC applications do not need or expect."
+  const TestCase* releases = nullptr;
+  for (const auto& t : suite_.cases()) {
+    if (t.functional == FunctionalCheck::kBrkShrinkReleases) releases = &t;
+  }
+  ASSERT_NE(releases, nullptr);
+  EXPECT_TRUE(LtpSuite::passes(*releases, linux_node_.app_kernel()));
+  EXPECT_FALSE(LtpSuite::passes(*releases, mck_node_.app_kernel()));
+  EXPECT_FALSE(LtpSuite::passes(*releases, mos_node_.app_kernel()));
+
+  // With the HPC brk() toggled off (the mOS runtime option), the test passes.
+  NodeOsConfig cfg = NodeOsConfig::mos_default();
+  cfg.mos_opts.hpc_brk = false;
+  Node plain_mos{hw::knl_snc4_flat(), cfg, 7};
+  EXPECT_TRUE(LtpSuite::passes(*releases, plain_mos.app_kernel()));
+}
+
+TEST_F(CompatFixture, PassRateOrdering) {
+  const double lin = suite_.run(linux_node_.app_kernel()).pass_rate();
+  const double mck = suite_.run(mck_node_.app_kernel()).pass_rate();
+  const double mos = suite_.run(mos_node_.app_kernel()).pass_rate();
+  EXPECT_GT(lin, mck);
+  EXPECT_GT(mck, mos);
+  EXPECT_GT(mos, 0.96);  // both LWKs are still overwhelmingly compatible
+}
+
+TEST_F(CompatFixture, ReportInvariants) {
+  for (Node* n : {&linux_node_, &mck_node_, &mos_node_}) {
+    const Report r = suite_.run(n->app_kernel());
+    EXPECT_EQ(r.passed + r.failed, r.total);
+    int by_family = 0;
+    for (const auto& [family, count] : r.failures_by_family) by_family += count;
+    EXPECT_EQ(by_family, r.failed);
+    EXPECT_EQ(static_cast<int>(r.failed_tests.size()), r.failed);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Unit tests: heap engines — the Section IV brk() mechanics.
+
+#include <gtest/gtest.h>
+
+#include "hw/knl.hpp"
+#include "mem/heap.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::mem;
+using mkos::sim::Bytes;
+using mkos::sim::KiB;
+using mkos::sim::MiB;
+
+class HeapTest : public ::testing::Test {
+ protected:
+  hw::NodeTopology topo_ = hw::knl_snc4_flat();
+  PhysMemory phys_{topo_};
+  MemCostModel cost_;
+
+  LwkHeap make_lwk(bool hpc, bool zero4k = true) {
+    LwkHeapOptions opt;
+    opt.hpc_mode = hpc;
+    opt.zero_first_4k_only = zero4k;
+    return LwkHeap{phys_, topo_, cost_, opt, 0};
+  }
+  LinuxHeap make_linux() {
+    return LinuxHeap{phys_, topo_, cost_, MemPolicy::standard(), 0};
+  }
+};
+
+// ------------------------------------------------------------- bookkeeping
+
+TEST_F(HeapTest, QueryGrowShrinkCounters) {
+  LwkHeap h = make_lwk(true);
+  (void)h.sbrk(0);
+  (void)h.sbrk(0);
+  (void)h.sbrk(1 * MiB);
+  (void)h.sbrk(-512 * KiB);
+  EXPECT_EQ(h.stats().queries, 2u);
+  EXPECT_EQ(h.stats().grows, 1u);
+  EXPECT_EQ(h.stats().shrinks, 1u);
+  EXPECT_EQ(h.stats().calls(), 4u);
+  EXPECT_EQ(h.stats().cum_growth, 1 * MiB);
+  EXPECT_EQ(h.stats().max_break, 1 * MiB);
+  EXPECT_EQ(h.stats().current, 512 * KiB);
+}
+
+TEST_F(HeapTest, ShrinkClampsAtZero) {
+  LinuxHeap h = make_linux();
+  (void)h.sbrk(1 * MiB);
+  (void)h.sbrk(-(1 << 30));
+  EXPECT_EQ(h.stats().current, 0u);
+}
+
+// ---------------------------------------------------------------- LwkHeap
+
+TEST_F(HeapTest, HpcBrkBacksPhysicallyAtCallTime) {
+  LwkHeap h = make_lwk(true);
+  (void)h.sbrk(3 * MiB);
+  // 2 MiB granularity: 3 MiB rounds up to 4 MiB of backing.
+  EXPECT_EQ(h.backed(), 4 * MiB);
+  EXPECT_EQ(h.touch_new(1).ns(), 0);  // no faults ever
+  EXPECT_EQ(h.stats().faults, 0u);
+}
+
+TEST_F(HeapTest, HpcBrkZeroesOnlyFirst4kPer2MPage) {
+  LwkHeap h = make_lwk(true);
+  (void)h.sbrk(8 * MiB);
+  // 4 pages of 2 MiB -> 4 x 4 KiB zeroed (the AMG 2013 workaround).
+  EXPECT_EQ(h.stats().zeroed, 4 * 4 * KiB);
+}
+
+TEST_F(HeapTest, HpcBrkIgnoresShrinkSoRegrowthIsFree) {
+  LwkHeap h = make_lwk(true);
+  (void)h.sbrk(8 * MiB);
+  const Bytes backed = h.backed();
+  const auto zeroed = h.stats().zeroed;
+  (void)h.sbrk(-6 * MiB);
+  EXPECT_EQ(h.backed(), backed);  // nothing returned
+  const auto t = h.sbrk(6 * MiB);
+  EXPECT_EQ(h.backed(), backed);          // no new allocation
+  EXPECT_EQ(h.stats().zeroed, zeroed);    // no new zeroing
+  EXPECT_LT(t.ns(), 1000);                // pointer arithmetic + trap only
+}
+
+TEST_F(HeapTest, HpcBrkPlacementPrefersMcdram) {
+  LwkHeap h = make_lwk(true);
+  (void)h.sbrk(64 * MiB);
+  EXPECT_DOUBLE_EQ(h.placement().fraction_in_kind(topo_, hw::MemKind::kMcdram), 1.0);
+}
+
+TEST_F(HeapTest, NonHpcModeBehavesLikeLinux) {
+  LwkHeap h = make_lwk(false);
+  (void)h.sbrk(4 * MiB);
+  EXPECT_EQ(h.backed(), 0u);  // demand paged
+  (void)h.touch_new(1);
+  EXPECT_EQ(h.backed(), 4 * MiB);
+  EXPECT_GT(h.stats().faults, 0u);
+  (void)h.sbrk(-4 * MiB);
+  EXPECT_EQ(h.backed(), 0u);  // honor shrink
+}
+
+TEST_F(HeapTest, AggressiveExtensionOverAllocates) {
+  LwkHeapOptions opt;
+  opt.hpc_mode = true;
+  opt.aggressive_extension = 2.0;
+  LwkHeap h{phys_, topo_, cost_, opt, 0};
+  (void)h.sbrk(10 * MiB);
+  EXPECT_GE(h.backed(), 20 * MiB);
+  // The next growth inside the extension is satisfied without allocation.
+  const Bytes backed = h.backed();
+  (void)h.sbrk(6 * MiB);
+  EXPECT_EQ(h.backed(), backed);
+}
+
+// --------------------------------------------------------------- LinuxHeap
+
+TEST_F(HeapTest, LinuxBrkDefersToFirstTouch) {
+  LinuxHeap h = make_linux();
+  const auto grow_cost = h.sbrk(16 * MiB);
+  EXPECT_EQ(h.backed(), 0u);
+  const auto touch_cost = h.touch_new(1);
+  EXPECT_EQ(h.backed(), 16 * MiB);
+  EXPECT_EQ(h.stats().faults, 16 * MiB / (4 * KiB));
+  EXPECT_GT(touch_cost.ns(), grow_cost.ns());  // the faults dominate
+  EXPECT_EQ(h.stats().zeroed, 16 * MiB);       // full zero-page semantics
+}
+
+TEST_F(HeapTest, LinuxShrinkReleasesAndRegrowthRefaults) {
+  LinuxHeap h = make_linux();
+  (void)h.sbrk(8 * MiB);
+  (void)h.touch_new(1);
+  const auto faults1 = h.stats().faults;
+  (void)h.sbrk(-8 * MiB);
+  EXPECT_EQ(h.backed(), 0u);  // memory returned to the system
+  (void)h.sbrk(8 * MiB);
+  (void)h.touch_new(1);
+  EXPECT_EQ(h.stats().faults, 2 * faults1);  // the paper's fault storm
+}
+
+TEST_F(HeapTest, LinuxHeapLandsInDdrByDefault) {
+  LinuxHeap h = make_linux();
+  (void)h.sbrk(32 * MiB);
+  (void)h.touch_new(1);
+  EXPECT_DOUBLE_EQ(h.placement().fraction_in_kind(topo_, hw::MemKind::kDdr4), 1.0);
+}
+
+TEST_F(HeapTest, LinuxFaultCostScalesWithContention) {
+  LinuxHeap h1 = make_linux();
+  (void)h1.sbrk(8 * MiB);
+  const auto solo = h1.touch_new(1);
+  LinuxHeap h2 = make_linux();
+  (void)h2.sbrk(8 * MiB);
+  const auto crowded = h2.touch_new(64);
+  EXPECT_GT(crowded.ns(), solo.ns() * 3);
+}
+
+// ----------------------------------------------- the Lulesh steady state
+
+TEST_F(HeapTest, SteadyStateCycleCostLwkMuchCheaperThanLinux) {
+  LwkHeap lwk = make_lwk(true);
+  LinuxHeap lin = make_linux();
+  // Warm up both to the working size.
+  (void)lwk.sbrk(64 * MiB);
+  (void)lin.sbrk(64 * MiB);
+  (void)lin.touch_new(1);
+
+  auto cycle = [](mem::HeapEngine& h) {
+    sim::TimeNs total{0};
+    for (int i = 0; i < 10; ++i) {
+      total += h.sbrk(0);
+      total += h.sbrk(8 * MiB);
+      total += h.touch_new(64);
+      total += h.sbrk(-8 * MiB);
+    }
+    return total;
+  };
+  const auto lwk_cost = cycle(lwk);
+  const auto lin_cost = cycle(lin);
+  EXPECT_GT(lin_cost.ns(), lwk_cost.ns() * 20)
+      << "Linux cycle should be dominated by refault+zero; LWK by traps only";
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Unit tests: IHK partitioning — early vs late reservation, fragmentation,
+// dynamic release, and the contiguity consequences for the LWK.
+
+#include <gtest/gtest.h>
+
+#include "hw/knl.hpp"
+#include "kernel/ihk.hpp"
+#include "mem/placement.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::kernel;
+using mkos::sim::GiB;
+using mkos::sim::MiB;
+
+class IhkTest : public ::testing::Test {
+ protected:
+  hw::NodeTopology topo_ = hw::knl_snc4_flat();
+};
+
+TEST_F(IhkTest, PartitionReservesLinuxShare) {
+  mem::PhysMemory phys{topo_};
+  sim::Rng rng{1};
+  PartitionSpec spec;
+  const PartitionResult res = partition(phys, topo_, spec, rng);
+  EXPECT_EQ(res.lwk_cores, 64);
+  EXPECT_EQ(res.linux_cores, 4);
+  EXPECT_GT(res.linux_reserved, 1 * GiB);   // ~3% of 96 GiB DDR4
+  EXPECT_LT(res.linux_reserved, 5 * GiB);
+  EXPECT_EQ(res.unmovable_pinned, 0u);      // early reservation: clean
+}
+
+TEST_F(IhkTest, LateReservationPinsUnmovableChunks) {
+  mem::PhysMemory phys{topo_};
+  sim::Rng rng{2};
+  PartitionSpec spec;
+  spec.late_reservation = true;
+  const PartitionResult res = partition(phys, topo_, spec, rng);
+  EXPECT_GT(res.unmovable_pinned, 256 * MiB);
+  // DDR4 contiguity degraded: no full-capacity extent remains.
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_LT(res.largest_extent_per_domain[static_cast<std::size_t>(d)], 23 * GiB);
+  }
+}
+
+TEST_F(IhkTest, LateReservationCostsGigabytePages) {
+  // The boot-order consequence the paper describes: mOS grabs contiguous
+  // blocks early, McKernel reserves late and loses 1 GiB page coverage.
+  auto gb_pages_available = [&](bool late) {
+    mem::PhysMemory phys{topo_};
+    sim::Rng rng{7};
+    PartitionSpec spec;
+    spec.late_reservation = late;
+    spec.unmovable_per_domain = 768 * MiB;
+    spec.unmovable_chunks = 96;
+    (void)partition(phys, topo_, spec, rng);
+    mem::PlaceRequest req;
+    req.bytes = 16 * GiB;
+    req.home_quadrant = 0;
+    req.prefer_mcdram = false;  // DDR4 is where the pins land
+    const mem::PlaceResult pr =
+        mem::place_lwk(phys, topo_, mem::MemCostModel{}, req);
+    return pr.placement.bytes_with_page(mem::PageSize::k1G);
+  };
+  EXPECT_GT(gb_pages_available(false), gb_pages_available(true));
+}
+
+TEST_F(IhkTest, ReleaseReturnsLinuxShare) {
+  mem::PhysMemory phys{topo_};
+  sim::Rng rng{3};
+  PartitionSpec spec;
+  PartitionResult res = partition(phys, topo_, spec, rng);
+  const sim::Bytes before = phys.free_bytes_of_kind(topo_, hw::MemKind::kDdr4);
+  const sim::Bytes reserved = res.linux_reserved;
+  ASSERT_GT(reserved, 0u);
+
+  const sim::Bytes freed = release_partition(phys, res);
+  EXPECT_EQ(freed, reserved);
+  EXPECT_EQ(res.linux_reserved, 0u);
+  EXPECT_TRUE(res.linux_extents.empty());
+  EXPECT_GT(phys.free_bytes_of_kind(topo_, hw::MemKind::kDdr4), before);
+
+  // Releasing twice is a no-op.
+  EXPECT_EQ(release_partition(phys, res), 0u);
+}
+
+TEST_F(IhkTest, ReleaseDoesNotUndoUnmovablePins) {
+  mem::PhysMemory phys{topo_};
+  sim::Rng rng{4};
+  PartitionSpec spec;
+  spec.late_reservation = true;
+  PartitionResult res = partition(phys, topo_, spec, rng);
+  const sim::Bytes pinned = res.unmovable_pinned;
+  (void)release_partition(phys, res);
+  sim::Bytes capacity = 0;
+  sim::Bytes free_bytes = 0;
+  for (const auto& d : topo_.domains()) {
+    capacity += phys.domain(d.id).capacity();
+    free_bytes += phys.domain(d.id).free_bytes();
+  }
+  EXPECT_EQ(capacity - free_bytes, pinned);  // only the pins remain
+}
+
+TEST_F(IhkTest, CoreSplitValidated) {
+  mem::PhysMemory phys{topo_};
+  sim::Rng rng{5};
+  PartitionSpec spec;
+  spec.lwk_cores = 66;
+  spec.linux_cores = 4;  // 70 > 68 cores
+  EXPECT_DEATH((void)partition(phys, topo_, spec, rng), "precondition");
+}
+
+TEST_F(IhkTest, McdramLeftAlmostUntouched) {
+  mem::PhysMemory phys{topo_};
+  sim::Rng rng{6};
+  (void)partition(phys, topo_, PartitionSpec{}, rng);
+  // Linux keeps only a driver slice of MCDRAM; > 99% goes to the app side.
+  EXPECT_GT(phys.free_bytes_of_kind(topo_, hw::MemKind::kMcdram),
+            static_cast<sim::Bytes>(15.8 * static_cast<double>(GiB)));
+}
+
+}  // namespace

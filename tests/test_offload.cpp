@@ -1,0 +1,114 @@
+// Unit tests: system-call offloading — IKC proxy transport (McKernel) vs
+// thread migration (mOS) — and the Omni-Path kernel-involvement pricing.
+
+#include <gtest/gtest.h>
+
+#include "hw/knl.hpp"
+#include "kernel/node.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::kernel;
+
+class OffloadFixture : public ::testing::Test {
+ protected:
+  Node linux_node_{hw::knl_snc4_flat(), NodeOsConfig::linux_default(), 1};
+  Node mck_node_{hw::knl_snc4_flat(), NodeOsConfig::mckernel_default(), 2};
+  Node mos_node_{hw::knl_snc4_flat(), NodeOsConfig::mos_default(), 3};
+};
+
+TEST(Ikc, RoundTripIncludesProxyWakeup) {
+  IkcChannel ch{IkcCosts{}, 3, 0};
+  const auto one = ch.one_way(64);
+  const auto rtt = ch.offload_round_trip(64, 64);
+  EXPECT_GT(rtt.ns(), 2 * one.ns());
+  EXPECT_GE(rtt.ns() - 2 * one.ns(), ch.costs().proxy_wakeup.ns());
+}
+
+TEST(Ikc, TopologyAwareness) {
+  const auto near = IkcChannel{IkcCosts{}, 0, 0}.one_way(64);
+  const auto far = IkcChannel{IkcCosts{}, 3, 0}.one_way(64);
+  EXPECT_GT(far.ns(), near.ns());
+  EXPECT_EQ((far - near).ns(), 3 * IkcCosts{}.per_quadrant_hop.ns());
+}
+
+TEST(Ikc, PayloadCopyCost) {
+  IkcChannel ch{IkcCosts{}, 1, 0};
+  EXPECT_GT(ch.one_way(1 << 20).ns(), ch.one_way(64).ns() + 100000);
+}
+
+TEST_F(OffloadFixture, OffloadedCallCostsMoreThanLocal) {
+  Kernel& mck = mck_node_.app_kernel();
+  EXPECT_GT(mck.offload_cost(256).ns(), mck.local_syscall_cost().ns() * 3);
+  Kernel& mos = mos_node_.app_kernel();
+  EXPECT_GT(mos.offload_cost(256).ns(), mos.local_syscall_cost().ns() * 3);
+}
+
+TEST_F(OffloadFixture, PricedFollowsDisposition) {
+  Kernel& mck = mck_node_.app_kernel();
+  EXPECT_EQ(mck.priced(Sys::kBrk).ns(), mck.local_syscall_cost().ns());
+  EXPECT_EQ(mck.priced(Sys::kRead).ns(), mck.offload_cost(256).ns());
+  Kernel& lin = linux_node_.app_kernel();
+  EXPECT_EQ(lin.priced(Sys::kRead).ns(), lin.local_syscall_cost().ns());
+}
+
+TEST_F(OffloadFixture, MigrationIsPayloadInsensitiveProxyIsNot) {
+  // mOS migrates the thread — no marshalling; McKernel copies the request
+  // through IKC.
+  Kernel& mos = mos_node_.app_kernel();
+  EXPECT_EQ(mos.offload_cost(64).ns(), mos.offload_cost(1 << 20).ns());
+  Kernel& mck = mck_node_.app_kernel();
+  EXPECT_GT(mck.offload_cost(1 << 20).ns(), mck.offload_cost(64).ns());
+}
+
+TEST_F(OffloadFixture, NetworkSyscallOverheadOrdering) {
+  // "This introduces extra latency ... because system calls on device files
+  // are offloaded to Linux" — the LAMMPS mechanism.
+  const auto lin = linux_node_.app_kernel().network_syscall_overhead();
+  const auto mck = mck_node_.app_kernel().network_syscall_overhead();
+  const auto mos = mos_node_.app_kernel().network_syscall_overhead();
+  EXPECT_GT(mck.ns(), lin.ns() * 3);
+  EXPECT_GT(mos.ns(), lin.ns() * 2);
+  // Thread migration wins on transport, but the migrated thread returns to
+  // a cold LWK core; net, mOS's device-file path is the slowest.
+  EXPECT_GT(mos.ns(), mck.ns());
+}
+
+TEST_F(OffloadFixture, NetworkBandwidthDerating) {
+  EXPECT_DOUBLE_EQ(linux_node_.app_kernel().network_bw_factor(), 1.0);
+  EXPECT_LT(mck_node_.app_kernel().network_bw_factor(), 1.0);
+  EXPECT_LT(mos_node_.app_kernel().network_bw_factor(), 1.0);
+}
+
+TEST_F(OffloadFixture, GenericSyscallCountsOffloads) {
+  Kernel& mck = mck_node_.app_kernel();
+  Process& p = mck.create_process(0);
+  const auto before = mck.offloaded_call_count();
+  (void)mck.sys_generic(p, Sys::kRead);
+  (void)mck.sys_generic(p, Sys::kWrite);
+  (void)mck.sys_generic(p, Sys::kGetpid);  // local
+  EXPECT_EQ(mck.offloaded_call_count(), before + 2);
+}
+
+TEST_F(OffloadFixture, UnsupportedReturnsEnosys) {
+  Kernel& mos = mos_node_.app_kernel();
+  Process& p = mos.create_process(0);
+  EXPECT_EQ(mos.sys_generic(p, Sys::kFork).err, kENOSYS);
+  EXPECT_EQ(mos.sys_generic(p, Sys::kRead).err, kOk);
+}
+
+TEST_F(OffloadFixture, SchedYieldHijackOnlyWithOption) {
+  Kernel& mck_plain = mck_node_.app_kernel();
+  Process& p = mck_plain.create_process(0);
+  const auto normal = mck_plain.sys_sched_yield(p).cost;
+
+  NodeOsConfig cfg = NodeOsConfig::mckernel_default();
+  cfg.mckernel_opts.disable_sched_yield = true;
+  Node tuned{hw::knl_snc4_flat(), cfg, 9};
+  Process& tp = tuned.app_kernel().create_process(0);
+  const auto hijacked = tuned.app_kernel().sys_sched_yield(tp).cost;
+  EXPECT_GT(normal.ns(), hijacked.ns() * 10);
+}
+
+}  // namespace

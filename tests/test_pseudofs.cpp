@@ -1,0 +1,76 @@
+// Unit tests: pseudo-filesystem coverage model (/proc, /sys).
+
+#include <gtest/gtest.h>
+
+#include "kernel/pseudofs.hpp"
+
+namespace {
+
+using namespace mkos::kernel;
+
+TEST(PseudoFs, LongestPrefixWins) {
+  PseudoFs fs{{
+      {"/proc", FsProvider::kReusedLinux},
+      {"/proc/self/maps", FsProvider::kReimplemented},
+  }};
+  EXPECT_EQ(fs.provider("/proc/self/maps"), FsProvider::kReimplemented);
+  EXPECT_EQ(fs.provider("/proc/self/status"), FsProvider::kReusedLinux);
+  EXPECT_EQ(fs.provider("/etc/hosts"), FsProvider::kMissing);
+}
+
+TEST(PseudoFs, LinuxCoversEverything) {
+  const PseudoFs fs = pseudofs_linux();
+  for (const auto& path : PseudoFs::canonical_paths()) {
+    EXPECT_TRUE(fs.readable(path)) << path;
+    EXPECT_EQ(fs.provider(path), FsProvider::kNative) << path;
+  }
+  EXPECT_DOUBLE_EQ(fs.coverage(), 1.0);
+}
+
+TEST(PseudoFs, McKernelReimplementsThePartitionFiles) {
+  const PseudoFs fs = pseudofs_mckernel();
+  // "McKernel needs to implement various /sys and /proc files to reflect
+  // the resource partition assigned to the LWK."
+  EXPECT_EQ(fs.provider("/proc/self/maps"), FsProvider::kReimplemented);
+  EXPECT_EQ(fs.provider("/sys/devices/system/node"), FsProvider::kReimplemented);
+  EXPECT_EQ(fs.provider("/proc/cpuinfo"), FsProvider::kReimplemented);
+  // Long-tail files are simply absent.
+  EXPECT_FALSE(fs.readable("/proc/self/environ"));
+  EXPECT_FALSE(fs.readable("/sys/fs/cgroup"));
+  EXPECT_FALSE(fs.readable("/proc/interrupts"));
+}
+
+TEST(PseudoFs, MosReusesLinuxButAdjustsCpuAndNodeLists) {
+  const PseudoFs fs = pseudofs_mos();
+  // "mOS mostly reuses the Linux implementation."
+  EXPECT_EQ(fs.provider("/proc/self/environ"), FsProvider::kReusedLinux);
+  EXPECT_EQ(fs.provider("/sys/fs/cgroup"), FsProvider::kReusedLinux);
+  // ...except the partition-reflecting CPU/node listings.
+  EXPECT_EQ(fs.provider("/sys/devices/system/cpu"), FsProvider::kReimplemented);
+  EXPECT_EQ(fs.provider("/sys/devices/system/node"), FsProvider::kReimplemented);
+  EXPECT_DOUBLE_EQ(fs.coverage(), 1.0);
+}
+
+TEST(PseudoFs, CoverageOrderingMatchesToolsSupportStory) {
+  // "The design differences ... have probably the most pronounced impact on
+  // this aspect" — Linux = mOS > McKernel for tools support.
+  EXPECT_GT(pseudofs_mos().coverage(), pseudofs_mckernel().coverage());
+  EXPECT_GE(pseudofs_linux().coverage(), pseudofs_mos().coverage());
+}
+
+TEST(PseudoFs, ProviderNames) {
+  EXPECT_EQ(to_string(FsProvider::kNative), "native");
+  EXPECT_EQ(to_string(FsProvider::kReusedLinux), "reused-linux");
+  EXPECT_EQ(to_string(FsProvider::kReimplemented), "reimplemented");
+  EXPECT_EQ(to_string(FsProvider::kMissing), "missing");
+}
+
+TEST(PseudoFs, CanonicalPathListIsStable) {
+  const auto& paths = PseudoFs::canonical_paths();
+  EXPECT_GT(paths.size(), 15u);
+  // Spot checks for families the paper names explicitly.
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "/proc/self/maps"), paths.end());
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "/proc/meminfo"), paths.end());
+}
+
+}  // namespace

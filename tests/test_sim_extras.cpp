@@ -1,0 +1,159 @@
+// Unit tests: histogram, event-driven IKC queue, time-share scheduler,
+// CSV export — the framework extensions layered on the simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "kernel/ikc_queue.hpp"
+#include "kernel/scheduler.hpp"
+#include "sim/histogram.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::sim;
+using namespace mkos::sim::literals;
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(Histogram, BinningAndCounts) {
+  Histogram h{1.0, 1e6, 4};
+  h.add(10.0);
+  h.add(10.0);
+  h.add(1e5);
+  h.add(0.1);    // underflow
+  h.add(1e7);    // overflow
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  std::uint64_t binned = 0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) binned += h.bin(i);
+  EXPECT_EQ(binned, 3u);
+}
+
+TEST(Histogram, BinEdgesAreLogSpaced) {
+  Histogram h{1.0, 1e3, 1};
+  ASSERT_EQ(h.bin_count(), 3u);
+  EXPECT_NEAR(h.bin_lower(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_lower(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_upper(2), 1e3, 1e-6);
+}
+
+TEST(Histogram, QuantilesApproximateTheDistribution) {
+  Histogram h{1.0, 1e7, 16};
+  Rng rng{5};
+  for (int i = 0; i < 100000; ++i) h.add(rng.exponential(1000.0));
+  // Median of Exp(1000) is 1000*ln2 ~= 693.
+  EXPECT_NEAR(h.quantile(0.5), 693.0, 120.0);
+  EXPECT_GT(h.quantile(0.99), h.quantile(0.5) * 4);
+}
+
+TEST(Histogram, ToStringRendersBars) {
+  Histogram h{1.0, 100.0, 2};
+  h.add(5.0, 10);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("10"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- IkcQueue
+
+TEST(IkcQueue, SingleRequestRoundTrip) {
+  EventQueue events;
+  kernel::IkcQueue q{events, kernel::IkcChannel{kernel::IkcCosts{}, 1, 0},
+                     sim::TimeNs{950}};
+  sim::TimeNs completed{0};
+  q.post(256, [&](sim::TimeNs t) { completed = t; });
+  events.run();
+  EXPECT_EQ(q.completed(), 1u);
+  EXPECT_GT(completed.ns(), 0);
+  // At least: request one-way + wakeup + service + response one-way.
+  const auto& ch = kernel::IkcChannel{kernel::IkcCosts{}, 1, 0};
+  const auto floor_ns = ch.one_way(256) + kernel::IkcCosts{}.proxy_wakeup +
+                        sim::TimeNs{950} + ch.one_way(64);
+  EXPECT_GE(completed.ns(), floor_ns.ns());
+}
+
+TEST(IkcQueue, ConcurrentRequestsSerializeOnTheProxy) {
+  // 16 LWK cores offload simultaneously: the single proxy context services
+  // them one at a time, so the worst latency grows with the burst size.
+  auto worst_for_burst = [](int n) {
+    EventQueue events;
+    kernel::IkcQueue q{events, kernel::IkcChannel{kernel::IkcCosts{}, 1, 0},
+                       sim::microseconds(1)};
+    for (int i = 0; i < n; ++i) {
+      q.post(128, [](sim::TimeNs) {});
+    }
+    events.run();
+    EXPECT_EQ(q.completed(), static_cast<std::uint64_t>(n));
+    return q.worst_latency();
+  };
+  EXPECT_GT(worst_for_burst(16).ns(), worst_for_burst(1).ns() * 8);
+}
+
+TEST(IkcQueue, CompletionOrderIsFifo) {
+  EventQueue events;
+  kernel::IkcQueue q{events, kernel::IkcChannel{kernel::IkcCosts{}, 0, 0},
+                     sim::TimeNs{500}};
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    q.post(64, [&order, i](sim::TimeNs) { order.push_back(i); });
+  }
+  events.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// ------------------------------------------------------- TimeShareScheduler
+
+TEST(TimeShare, EqualTasksFinishTogetherAtTheEnd) {
+  kernel::TimeShareScheduler ts{kernel::SchedulerModel::lwk_coop(), 1_ms};
+  ts.add_task(10_ms);
+  ts.add_task(10_ms);
+  const auto done = ts.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Interleaved: both complete near 20 ms (+ context switches), one quantum
+  // apart — unlike cooperative run-to-completion where task 0 ends at 10 ms.
+  EXPECT_GT(done[0].ms(), 18.0);
+  EXPECT_GT(done[1], done[0]);
+  EXPECT_LT((done[1] - done[0]).ms(), 1.2);
+  EXPECT_GE(ts.preemptions(), 18u);
+}
+
+TEST(TimeShare, ShortTaskIsNotStarved) {
+  kernel::TimeShareScheduler ts{kernel::SchedulerModel::lwk_coop(), 1_ms};
+  ts.add_task(100_ms);  // long-running application thread
+  ts.add_task(2_ms);    // short in-situ task
+  const auto done = ts.run();
+  // The short task finishes after ~2 slices of each, not after 100 ms.
+  EXPECT_LT(done[1].ms(), 6.0);
+}
+
+TEST(TimeShare, PreemptionCostAccumulates) {
+  kernel::SchedulerModel m = kernel::SchedulerModel::lwk_coop();
+  kernel::TimeShareScheduler fine{m, 100_us};
+  fine.add_task(10_ms);
+  fine.add_task(10_ms);
+  const auto fine_done = fine.run();
+  kernel::TimeShareScheduler coarse{m, 5_ms};
+  coarse.add_task(10_ms);
+  coarse.add_task(10_ms);
+  const auto coarse_done = coarse.run();
+  EXPECT_GT(fine_done[1], coarse_done[1]);  // more switches, more overhead
+}
+
+// ----------------------------------------------------------------- Table CSV
+
+TEST(Report, CsvEscaping) {
+  core::Table t{{"name", "value"}};
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "2"});
+  t.add_row({"with\"quote", "3"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\",2\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Unit tests: TLB coverage model and its effect on the roofline.
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "mem/tlb.hpp"
+#include "runtime/job.hpp"
+#include "workloads/app.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::mem;
+using mkos::sim::GiB;
+using mkos::sim::KiB;
+using mkos::sim::MiB;
+
+TEST(Tlb, CoveragePerPageSize) {
+  const TlbSpec t = TlbSpec::knl();
+  EXPECT_EQ(t.coverage(PageSize::k4K), 256u * 4 * KiB);   // 1 MiB
+  EXPECT_EQ(t.coverage(PageSize::k2M), 128u * 2 * MiB);   // 256 MiB
+  EXPECT_EQ(t.coverage(PageSize::k1G), 16u * GiB);
+}
+
+TEST(Tlb, NoMissCostInsideCoverage) {
+  const TlbSpec t = TlbSpec::knl();
+  EXPECT_DOUBLE_EQ(tlb_miss_ns_per_byte(t, 512 * KiB, PageSize::k4K), 0.0);
+  EXPECT_DOUBLE_EQ(tlb_miss_ns_per_byte(t, 200 * MiB, PageSize::k2M), 0.0);
+  EXPECT_DOUBLE_EQ(tlb_miss_ns_per_byte(t, 8 * GiB, PageSize::k1G), 0.0);
+}
+
+TEST(Tlb, MissCostForUncovered4kWorkingSet) {
+  const TlbSpec t = TlbSpec::knl();
+  // 200 MiB at 4 KiB pages: essentially every page crossing walks.
+  const double per_byte = tlb_miss_ns_per_byte(t, 200 * MiB, PageSize::k4K);
+  const double full_walk_rate = static_cast<double>(t.walk.ns()) / 4096.0;
+  EXPECT_GT(per_byte, full_walk_rate * 0.9);
+  EXPECT_LE(per_byte, full_walk_rate);
+}
+
+TEST(Tlb, MissCostShrinksWithLargerPages) {
+  const TlbSpec t = TlbSpec::knl();
+  const double c4k = tlb_miss_ns_per_byte(t, 2 * GiB, PageSize::k4K);
+  const double c2m = tlb_miss_ns_per_byte(t, 2 * GiB, PageSize::k2M);
+  EXPECT_GT(c4k, c2m * 100);
+}
+
+TEST(Tlb, BandwidthFactorBounds) {
+  const TlbSpec t = TlbSpec::knl();
+  Placement all_2m;
+  all_2m.add(0, PageSize::k2M, 192 * MiB);
+  EXPECT_DOUBLE_EQ(tlb_bandwidth_factor(t, all_2m, 7.5), 1.0);
+
+  Placement all_4k;
+  all_4k.add(0, PageSize::k4K, 192 * MiB);
+  const double f = tlb_bandwidth_factor(t, all_4k, 7.5);
+  EXPECT_LT(f, 1.0);
+  EXPECT_GT(f, 0.8);  // ~11% on MCDRAM-class per-rank bandwidth
+}
+
+TEST(Tlb, PenaltySmallerOnSlowMemory) {
+  // Walks hide behind slow DRAM: the same 4 KiB mix costs relatively less
+  // at DDR4 per-rank bandwidth than at MCDRAM bandwidth.
+  const TlbSpec t = TlbSpec::knl();
+  Placement all_4k;
+  all_4k.add(0, PageSize::k4K, 192 * MiB);
+  EXPECT_GT(tlb_bandwidth_factor(t, all_4k, 1.4),
+            tlb_bandwidth_factor(t, all_4k, 7.5));
+}
+
+TEST(Tlb, EmptyPlacementIsNeutral) {
+  EXPECT_DOUBLE_EQ(tlb_bandwidth_factor(TlbSpec::knl(), Placement{}, 7.5), 1.0);
+}
+
+// End-to-end: the Linux THP mix costs measurable bandwidth vs the LWK's
+// fully huge-paged placement.
+TEST(Tlb, LinuxThpMixDeratesLaneBandwidth) {
+  auto app = workloads::make_hpcg();
+  const auto lin_m = core::SystemConfig::linux_default().machine(1);
+  runtime::Job lin_job{lin_m, app->spec(1), 1};
+  app->setup(lin_job);
+  const auto mck_m = core::SystemConfig::mckernel().machine(1);
+  runtime::Job mck_job{mck_m, app->spec(1), 1};
+  app->setup(mck_job);
+
+  const double lin_gbps = lin_job.lane_effective_gbps(0);
+  const double mck_gbps = mck_job.lane_effective_gbps(0);
+  EXPECT_GT(mck_gbps, lin_gbps * 1.02);
+  EXPECT_LT(mck_gbps, lin_gbps * 1.12);
+}
+
+}  // namespace
