@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mem.dir/bench/ablation_mem.cpp.o"
+  "CMakeFiles/ablation_mem.dir/bench/ablation_mem.cpp.o.d"
+  "bench/ablation_mem"
+  "bench/ablation_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

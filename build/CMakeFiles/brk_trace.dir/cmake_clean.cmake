@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brk_trace.dir/bench/brk_trace.cpp.o"
+  "CMakeFiles/brk_trace.dir/bench/brk_trace.cpp.o.d"
+  "bench/brk_trace"
+  "bench/brk_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brk_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

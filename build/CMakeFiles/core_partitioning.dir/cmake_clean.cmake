@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partitioning.dir/bench/core_partitioning.cpp.o"
+  "CMakeFiles/core_partitioning.dir/bench/core_partitioning.cpp.o.d"
+  "bench/core_partitioning"
+  "bench/core_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overview.dir/bench/fig4_overview.cpp.o"
+  "CMakeFiles/fig4_overview.dir/bench/fig4_overview.cpp.o.d"
+  "bench/fig4_overview"
+  "bench/fig4_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_ccs_qcd.dir/bench/fig5a_ccs_qcd.cpp.o"
+  "CMakeFiles/fig5a_ccs_qcd.dir/bench/fig5a_ccs_qcd.cpp.o.d"
+  "bench/fig5a_ccs_qcd"
+  "bench/fig5a_ccs_qcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_ccs_qcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_minife.dir/bench/fig5b_minife.cpp.o"
+  "CMakeFiles/fig5b_minife.dir/bench/fig5b_minife.cpp.o.d"
+  "bench/fig5b_minife"
+  "bench/fig5b_minife.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_minife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_lulesh.dir/bench/fig6a_lulesh.cpp.o"
+  "CMakeFiles/fig6a_lulesh.dir/bench/fig6a_lulesh.cpp.o.d"
+  "bench/fig6a_lulesh"
+  "bench/fig6a_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

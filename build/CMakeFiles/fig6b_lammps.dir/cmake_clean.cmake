@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_lammps.dir/bench/fig6b_lammps.cpp.o"
+  "CMakeFiles/fig6b_lammps.dir/bench/fig6b_lammps.cpp.o.d"
+  "bench/fig6b_lammps"
+  "bench/fig6b_lammps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_lammps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

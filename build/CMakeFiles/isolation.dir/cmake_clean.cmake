@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation.dir/bench/isolation.cpp.o"
+  "CMakeFiles/isolation.dir/bench/isolation.cpp.o.d"
+  "bench/isolation"
+  "bench/isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

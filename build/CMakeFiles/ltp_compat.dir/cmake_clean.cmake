@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltp_compat.dir/bench/ltp_compat.cpp.o"
+  "CMakeFiles/ltp_compat.dir/bench/ltp_compat.cpp.o.d"
+  "bench/ltp_compat"
+  "bench/ltp_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltp_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

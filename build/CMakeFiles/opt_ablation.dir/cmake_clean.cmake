@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_ablation.dir/bench/opt_ablation.cpp.o"
+  "CMakeFiles/opt_ablation.dir/bench/opt_ablation.cpp.o.d"
+  "bench/opt_ablation"
+  "bench/opt_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_breakdown.dir/bench/phase_breakdown.cpp.o"
+  "CMakeFiles/phase_breakdown.dir/bench/phase_breakdown.cpp.o.d"
+  "bench/phase_breakdown"
+  "bench/phase_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_matrix.dir/bench/syscall_matrix.cpp.o"
+  "CMakeFiles/syscall_matrix.dir/bench/syscall_matrix.cpp.o.d"
+  "bench/syscall_matrix"
+  "bench/syscall_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

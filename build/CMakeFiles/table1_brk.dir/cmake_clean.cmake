@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_brk.dir/bench/table1_brk.cpp.o"
+  "CMakeFiles/table1_brk.dir/bench/table1_brk.cpp.o.d"
+  "bench/table1_brk"
+  "bench/table1_brk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_brk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

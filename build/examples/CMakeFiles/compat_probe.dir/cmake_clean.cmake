@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compat_probe.dir/compat_probe.cpp.o"
+  "CMakeFiles/compat_probe.dir/compat_probe.cpp.o.d"
+  "compat_probe"
+  "compat_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compat_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_lwk.dir/custom_lwk.cpp.o"
+  "CMakeFiles/custom_lwk.dir/custom_lwk.cpp.o.d"
+  "custom_lwk"
+  "custom_lwk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_lwk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

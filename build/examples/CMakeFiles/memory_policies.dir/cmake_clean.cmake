@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_policies.dir/memory_policies.cpp.o"
+  "CMakeFiles/memory_policies.dir/memory_policies.cpp.o.d"
+  "memory_policies"
+  "memory_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

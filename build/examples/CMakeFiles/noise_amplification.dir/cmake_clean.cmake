@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_amplification.dir/noise_amplification.cpp.o"
+  "CMakeFiles/noise_amplification.dir/noise_amplification.cpp.o.d"
+  "noise_amplification"
+  "noise_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

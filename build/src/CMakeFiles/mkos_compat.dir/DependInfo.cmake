@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compat/catalog.cpp" "src/CMakeFiles/mkos_compat.dir/compat/catalog.cpp.o" "gcc" "src/CMakeFiles/mkos_compat.dir/compat/catalog.cpp.o.d"
+  "/root/repo/src/compat/ltp.cpp" "src/CMakeFiles/mkos_compat.dir/compat/ltp.cpp.o" "gcc" "src/CMakeFiles/mkos_compat.dir/compat/ltp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mkos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkos_compat.dir/compat/catalog.cpp.o"
+  "CMakeFiles/mkos_compat.dir/compat/catalog.cpp.o.d"
+  "CMakeFiles/mkos_compat.dir/compat/ltp.cpp.o"
+  "CMakeFiles/mkos_compat.dir/compat/ltp.cpp.o.d"
+  "libmkos_compat.a"
+  "libmkos_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkos_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

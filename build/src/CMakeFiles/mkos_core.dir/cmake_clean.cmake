@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkos_core.dir/core/config.cpp.o"
+  "CMakeFiles/mkos_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/mkos_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/mkos_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/mkos_core.dir/core/report.cpp.o"
+  "CMakeFiles/mkos_core.dir/core/report.cpp.o.d"
+  "libmkos_core.a"
+  "libmkos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cpp" "src/CMakeFiles/mkos_hw.dir/hw/cluster.cpp.o" "gcc" "src/CMakeFiles/mkos_hw.dir/hw/cluster.cpp.o.d"
+  "/root/repo/src/hw/knl.cpp" "src/CMakeFiles/mkos_hw.dir/hw/knl.cpp.o" "gcc" "src/CMakeFiles/mkos_hw.dir/hw/knl.cpp.o.d"
+  "/root/repo/src/hw/network.cpp" "src/CMakeFiles/mkos_hw.dir/hw/network.cpp.o" "gcc" "src/CMakeFiles/mkos_hw.dir/hw/network.cpp.o.d"
+  "/root/repo/src/hw/topology.cpp" "src/CMakeFiles/mkos_hw.dir/hw/topology.cpp.o" "gcc" "src/CMakeFiles/mkos_hw.dir/hw/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mkos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkos_hw.dir/hw/cluster.cpp.o"
+  "CMakeFiles/mkos_hw.dir/hw/cluster.cpp.o.d"
+  "CMakeFiles/mkos_hw.dir/hw/knl.cpp.o"
+  "CMakeFiles/mkos_hw.dir/hw/knl.cpp.o.d"
+  "CMakeFiles/mkos_hw.dir/hw/network.cpp.o"
+  "CMakeFiles/mkos_hw.dir/hw/network.cpp.o.d"
+  "CMakeFiles/mkos_hw.dir/hw/topology.cpp.o"
+  "CMakeFiles/mkos_hw.dir/hw/topology.cpp.o.d"
+  "libmkos_hw.a"
+  "libmkos_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/fusedos.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/fusedos.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/fusedos.cpp.o.d"
+  "/root/repo/src/kernel/ihk.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/ihk.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/ihk.cpp.o.d"
+  "/root/repo/src/kernel/ikc.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/ikc.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/ikc.cpp.o.d"
+  "/root/repo/src/kernel/ikc_queue.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/ikc_queue.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/ikc_queue.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/linux_kernel.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/linux_kernel.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/linux_kernel.cpp.o.d"
+  "/root/repo/src/kernel/mckernel.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/mckernel.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/mckernel.cpp.o.d"
+  "/root/repo/src/kernel/mos.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/mos.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/mos.cpp.o.d"
+  "/root/repo/src/kernel/node.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/node.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/node.cpp.o.d"
+  "/root/repo/src/kernel/noise.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/noise.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/noise.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/process.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/process.cpp.o.d"
+  "/root/repo/src/kernel/pseudofs.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/pseudofs.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/pseudofs.cpp.o.d"
+  "/root/repo/src/kernel/scheduler.cpp" "src/CMakeFiles/mkos_kernel.dir/kernel/scheduler.cpp.o" "gcc" "src/CMakeFiles/mkos_kernel.dir/kernel/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mkos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

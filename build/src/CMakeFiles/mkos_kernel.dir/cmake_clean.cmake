@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkos_kernel.dir/kernel/fusedos.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/fusedos.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/ihk.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/ihk.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/ikc.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/ikc.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/ikc_queue.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/ikc_queue.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/kernel.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/kernel.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/linux_kernel.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/linux_kernel.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/mckernel.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/mckernel.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/mos.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/mos.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/node.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/node.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/noise.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/noise.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/process.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/process.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/pseudofs.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/pseudofs.cpp.o.d"
+  "CMakeFiles/mkos_kernel.dir/kernel/scheduler.cpp.o"
+  "CMakeFiles/mkos_kernel.dir/kernel/scheduler.cpp.o.d"
+  "libmkos_kernel.a"
+  "libmkos_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkos_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mkos_kernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cpp" "src/CMakeFiles/mkos_mem.dir/mem/address_space.cpp.o" "gcc" "src/CMakeFiles/mkos_mem.dir/mem/address_space.cpp.o.d"
+  "/root/repo/src/mem/heap.cpp" "src/CMakeFiles/mkos_mem.dir/mem/heap.cpp.o" "gcc" "src/CMakeFiles/mkos_mem.dir/mem/heap.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/CMakeFiles/mkos_mem.dir/mem/page_table.cpp.o" "gcc" "src/CMakeFiles/mkos_mem.dir/mem/page_table.cpp.o.d"
+  "/root/repo/src/mem/phys_allocator.cpp" "src/CMakeFiles/mkos_mem.dir/mem/phys_allocator.cpp.o" "gcc" "src/CMakeFiles/mkos_mem.dir/mem/phys_allocator.cpp.o.d"
+  "/root/repo/src/mem/placement.cpp" "src/CMakeFiles/mkos_mem.dir/mem/placement.cpp.o" "gcc" "src/CMakeFiles/mkos_mem.dir/mem/placement.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/CMakeFiles/mkos_mem.dir/mem/tlb.cpp.o" "gcc" "src/CMakeFiles/mkos_mem.dir/mem/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mkos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkos_mem.dir/mem/address_space.cpp.o"
+  "CMakeFiles/mkos_mem.dir/mem/address_space.cpp.o.d"
+  "CMakeFiles/mkos_mem.dir/mem/heap.cpp.o"
+  "CMakeFiles/mkos_mem.dir/mem/heap.cpp.o.d"
+  "CMakeFiles/mkos_mem.dir/mem/page_table.cpp.o"
+  "CMakeFiles/mkos_mem.dir/mem/page_table.cpp.o.d"
+  "CMakeFiles/mkos_mem.dir/mem/phys_allocator.cpp.o"
+  "CMakeFiles/mkos_mem.dir/mem/phys_allocator.cpp.o.d"
+  "CMakeFiles/mkos_mem.dir/mem/placement.cpp.o"
+  "CMakeFiles/mkos_mem.dir/mem/placement.cpp.o.d"
+  "CMakeFiles/mkos_mem.dir/mem/tlb.cpp.o"
+  "CMakeFiles/mkos_mem.dir/mem/tlb.cpp.o.d"
+  "libmkos_mem.a"
+  "libmkos_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkos_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

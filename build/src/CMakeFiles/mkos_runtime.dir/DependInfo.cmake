@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/collectives.cpp" "src/CMakeFiles/mkos_runtime.dir/runtime/collectives.cpp.o" "gcc" "src/CMakeFiles/mkos_runtime.dir/runtime/collectives.cpp.o.d"
+  "/root/repo/src/runtime/job.cpp" "src/CMakeFiles/mkos_runtime.dir/runtime/job.cpp.o" "gcc" "src/CMakeFiles/mkos_runtime.dir/runtime/job.cpp.o.d"
+  "/root/repo/src/runtime/noise_extremes.cpp" "src/CMakeFiles/mkos_runtime.dir/runtime/noise_extremes.cpp.o" "gcc" "src/CMakeFiles/mkos_runtime.dir/runtime/noise_extremes.cpp.o.d"
+  "/root/repo/src/runtime/shm.cpp" "src/CMakeFiles/mkos_runtime.dir/runtime/shm.cpp.o" "gcc" "src/CMakeFiles/mkos_runtime.dir/runtime/shm.cpp.o.d"
+  "/root/repo/src/runtime/simmpi.cpp" "src/CMakeFiles/mkos_runtime.dir/runtime/simmpi.cpp.o" "gcc" "src/CMakeFiles/mkos_runtime.dir/runtime/simmpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mkos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkos_runtime.dir/runtime/collectives.cpp.o"
+  "CMakeFiles/mkos_runtime.dir/runtime/collectives.cpp.o.d"
+  "CMakeFiles/mkos_runtime.dir/runtime/job.cpp.o"
+  "CMakeFiles/mkos_runtime.dir/runtime/job.cpp.o.d"
+  "CMakeFiles/mkos_runtime.dir/runtime/noise_extremes.cpp.o"
+  "CMakeFiles/mkos_runtime.dir/runtime/noise_extremes.cpp.o.d"
+  "CMakeFiles/mkos_runtime.dir/runtime/shm.cpp.o"
+  "CMakeFiles/mkos_runtime.dir/runtime/shm.cpp.o.d"
+  "CMakeFiles/mkos_runtime.dir/runtime/simmpi.cpp.o"
+  "CMakeFiles/mkos_runtime.dir/runtime/simmpi.cpp.o.d"
+  "libmkos_runtime.a"
+  "libmkos_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkos_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

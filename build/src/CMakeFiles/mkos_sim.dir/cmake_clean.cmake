@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkos_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/mkos_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/mkos_sim.dir/sim/histogram.cpp.o"
+  "CMakeFiles/mkos_sim.dir/sim/histogram.cpp.o.d"
+  "CMakeFiles/mkos_sim.dir/sim/log.cpp.o"
+  "CMakeFiles/mkos_sim.dir/sim/log.cpp.o.d"
+  "CMakeFiles/mkos_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/mkos_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/mkos_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/mkos_sim.dir/sim/stats.cpp.o.d"
+  "libmkos_sim.a"
+  "libmkos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/amg.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/amg.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/amg.cpp.o.d"
+  "/root/repo/src/workloads/app.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/app.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/app.cpp.o.d"
+  "/root/repo/src/workloads/ccs_qcd.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/ccs_qcd.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/ccs_qcd.cpp.o.d"
+  "/root/repo/src/workloads/geofem.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/geofem.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/geofem.cpp.o.d"
+  "/root/repo/src/workloads/hpcg.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/hpcg.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/hpcg.cpp.o.d"
+  "/root/repo/src/workloads/lammps.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/lammps.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/lammps.cpp.o.d"
+  "/root/repo/src/workloads/lulesh.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/lulesh.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/lulesh.cpp.o.d"
+  "/root/repo/src/workloads/milc.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/milc.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/milc.cpp.o.d"
+  "/root/repo/src/workloads/minife.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/minife.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/minife.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/mkos_workloads.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/mkos_workloads.dir/workloads/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mkos_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkos_workloads.dir/workloads/amg.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/amg.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/app.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/app.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/ccs_qcd.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/ccs_qcd.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/geofem.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/geofem.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/hpcg.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/hpcg.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/lammps.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/lammps.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/lulesh.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/lulesh.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/milc.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/milc.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/minife.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/minife.cpp.o.d"
+  "CMakeFiles/mkos_workloads.dir/workloads/registry.cpp.o"
+  "CMakeFiles/mkos_workloads.dir/workloads/registry.cpp.o.d"
+  "libmkos_workloads.a"
+  "libmkos_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkos_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_detail.dir/test_apps_detail.cpp.o"
+  "CMakeFiles/test_apps_detail.dir/test_apps_detail.cpp.o.d"
+  "test_apps_detail"
+  "test_apps_detail.pdb"
+  "test_apps_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/test_experiment.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_experiment.dir/test_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mkos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_compat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mkos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

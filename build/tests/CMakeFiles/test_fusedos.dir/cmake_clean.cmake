@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusedos.dir/test_fusedos.cpp.o"
+  "CMakeFiles/test_fusedos.dir/test_fusedos.cpp.o.d"
+  "test_fusedos"
+  "test_fusedos.pdb"
+  "test_fusedos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusedos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

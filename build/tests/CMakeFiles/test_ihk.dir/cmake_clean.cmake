@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ihk.dir/test_ihk.cpp.o"
+  "CMakeFiles/test_ihk.dir/test_ihk.cpp.o.d"
+  "test_ihk"
+  "test_ihk.pdb"
+  "test_ihk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ihk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

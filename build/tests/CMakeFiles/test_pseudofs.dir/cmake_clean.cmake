@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pseudofs.dir/test_pseudofs.cpp.o"
+  "CMakeFiles/test_pseudofs.dir/test_pseudofs.cpp.o.d"
+  "test_pseudofs"
+  "test_pseudofs.pdb"
+  "test_pseudofs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pseudofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_offload[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_compat[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_ihk[1]_include.cmake")
+include("/root/repo/build/tests/test_syscalls[1]_include.cmake")
+include("/root/repo/build/tests/test_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_fusedos[1]_include.cmake")
+include("/root/repo/build/tests/test_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_pseudofs[1]_include.cmake")
+include("/root/repo/build/tests/test_page_table[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_detail[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
