@@ -15,7 +15,7 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "hw/knl.hpp"
 #include "kernel/node.hpp"
@@ -23,10 +23,6 @@
 namespace {
 
 using mkos::core::SystemConfig;
-
-double run(mkos::workloads::App& app, mkos::kernel::OsKind os, int nodes) {
-  return mkos::core::run_app(app, SystemConfig::for_os(os), nodes, 5, 81).median();
-}
 
 }  // namespace
 
@@ -38,23 +34,38 @@ int main() {
 
   struct Row {
     const char* label;
-    std::unique_ptr<workloads::App> app;
+    const char* app;  // registry name; the campaign builds one App per task
     int nodes;
   };
-  Row rows[] = {
-      {"MiniFE @512 (collectives)", workloads::make_minife(), 512},
-      {"Lulesh @27 (brk churn)", workloads::make_lulesh(50), 27},
-      {"LAMMPS @512 (device I/O)", workloads::make_lammps(), 512},
+  const Row rows[] = {
+      {"MiniFE @512 (collectives)", "MiniFE", 512},
+      {"Lulesh @27 (brk churn)", "Lulesh2.0", 27},
+      {"LAMMPS @512 (device I/O)", "LAMMPS", 512},
   };
 
+  // One campaign per row (the node counts differ); all four OS cells of a
+  // row simulate concurrently and the shared cache carries cells across
+  // rows should any repeat.
+  sim::ThreadPool pool;
+  core::CellCache cache;
+  core::Campaign campaign(pool, cache);
+
   core::Table table{{"workload", "Linux", "McKernel", "mOS", "FusedOS"}};
-  for (auto& row : rows) {
-    const double lin = run(*row.app, kernel::OsKind::kLinux, row.nodes);
-    const double mck = run(*row.app, kernel::OsKind::kMcKernel, row.nodes);
-    const double mos = run(*row.app, kernel::OsKind::kMos, row.nodes);
-    const double fus = run(*row.app, kernel::OsKind::kFusedOs, row.nodes);
-    table.add_row({row.label, "100.0%", core::fmt_pct(mck / lin),
-                   core::fmt_pct(mos / lin), core::fmt_pct(fus / lin)});
+  for (const Row& row : rows) {
+    core::CampaignSpec spec;
+    spec.apps = {row.app};
+    spec.configs = {SystemConfig::for_os(kernel::OsKind::kLinux),
+                    SystemConfig::for_os(kernel::OsKind::kMcKernel),
+                    SystemConfig::for_os(kernel::OsKind::kMos),
+                    SystemConfig::for_os(kernel::OsKind::kFusedOs)};
+    spec.nodes = {row.nodes};
+    spec.reps = 5;
+    spec.seed = 81;
+    const auto cells = campaign.run(spec);
+    const double lin = cells[0].stats.median();
+    table.add_row({row.label, "100.0%", core::fmt_pct(cells[1].stats.median() / lin),
+                   core::fmt_pct(cells[2].stats.median() / lin),
+                   core::fmt_pct(cells[3].stats.median() / lin)});
   }
   std::printf("%s\n", table.to_string().c_str());
 

@@ -5,66 +5,153 @@
 // headline aggregation: "a median performance improvement of 9% with some
 // applications as high as 280%".
 //
+// Runs on the parallel campaign engine: the cell grid fans out across a
+// sim::ThreadPool and the Linux baseline cells — requested by both the
+// McKernel and the mOS comparison — are simulated once and served from the
+// cell cache afterwards. A 1-thread cold-cache reference run measures the
+// serial wall clock; results are bit-identical by construction (positional
+// seeds), and the speedup + cache telemetry land in BENCH_campaign.json.
+//
 //   MKOS_FIG4_MAX_NODES / MKOS_FIG4_REPS env vars shrink the sweep for
-//   quick runs; defaults reproduce the full figure.
+//   quick runs; defaults reproduce the full figure. MKOS_THREADS sets the
+//   pool size (default: hardware concurrency). MKOS_FIG4_SKIP_SERIAL=1
+//   skips the serial reference timing.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
-#include "core/experiment.hpp"
+#include "core/campaign.hpp"
 #include "core/report.hpp"
 
 namespace {
+
+using namespace mkos;
+using core::SystemConfig;
 
 int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   return v == nullptr ? fallback : std::atoi(v);
 }
 
+core::CampaignSpec fig4_spec(int max_nodes, int reps) {
+  core::CampaignSpec spec;
+  spec.apps = workloads::fig4_app_names();
+  spec.reps = reps;
+  spec.seed = 42;
+  spec.max_nodes = max_nodes;
+  return spec;
+}
+
+/// The two campaign phases share every Linux cell: phase two's baseline is
+/// pure cache hits.
+std::vector<core::CellResult> run_cells(core::Campaign& campaign, int max_nodes,
+                                        int reps) {
+  core::CampaignSpec spec = fig4_spec(max_nodes, reps);
+  spec.configs = {SystemConfig::linux_default(), SystemConfig::mckernel()};
+  auto cells = campaign.run(spec);
+  spec.configs = {SystemConfig::linux_default(), SystemConfig::mos()};
+  auto mos_cells = campaign.run(spec);
+  cells.insert(cells.end(), mos_cells.begin(), mos_cells.end());
+  return cells;
+}
+
+/// Reassemble per-(app, config) scaling curves from the flat cell list.
+std::map<std::string, std::map<std::string, std::vector<core::ScalingPoint>>> curves_of(
+    const std::vector<core::CellResult>& cells) {
+  std::map<std::string, std::map<std::string, std::vector<core::ScalingPoint>>> curves;
+  for (const core::CellResult& cell : cells) {
+    auto& curve = curves[cell.app][cell.config_label];
+    const core::ScalingPoint point{cell.nodes, cell.stats.median(), cell.stats.min(),
+                                   cell.stats.max()};
+    // The Linux baseline appears in both phases; keep one point per node.
+    bool seen = false;
+    for (const auto& p : curve) seen = seen || p.nodes == point.nodes;
+    if (!seen) curve.push_back(point);
+  }
+  return curves;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 }  // namespace
 
 int main() {
-  using namespace mkos;
-  using core::SystemConfig;
-
   const int max_nodes = env_int("MKOS_FIG4_MAX_NODES", 2048);
   const int reps = env_int("MKOS_FIG4_REPS", 5);
+  const int threads = sim::ThreadPool::default_threads();
 
   core::print_banner("Fig. 4 — relative median performance vs Linux, 1..2048 nodes",
                      "IPDPS'18 10.1109/IPDPS.2018.00022, Figure 4");
 
-  const auto apps = workloads::make_fig4_apps();
-  std::vector<std::vector<core::RelativePoint>> mck_curves;
-  std::vector<std::vector<core::RelativePoint>> mos_curves;
+  sim::ThreadPool pool(threads);
+  core::CellCache cache;
+  core::Campaign campaign(pool, cache);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto cells = run_cells(campaign, max_nodes, reps);
+  const double parallel_s = seconds_since(t0);
 
-  for (const auto& app : apps) {
-    const auto linux_sweep =
-        core::scaling_sweep(*app, SystemConfig::linux_default(), reps, 42, max_nodes);
-    const auto mck_sweep =
-        core::scaling_sweep(*app, SystemConfig::mckernel(), reps, 42, max_nodes);
-    const auto mos_sweep =
-        core::scaling_sweep(*app, SystemConfig::mos(), reps, 42, max_nodes);
-    const auto mck_rel = core::relative_to(mck_sweep, linux_sweep);
-    const auto mos_rel = core::relative_to(mos_sweep, linux_sweep);
+  const auto curves = curves_of(cells);
+  std::vector<std::vector<core::RelativePoint>> all_rel;
+  for (const std::string& app : workloads::fig4_app_names()) {
+    const auto found = curves.find(app);
+    if (found == curves.end()) continue;  // every node count above the cap
+    const auto& by_config = found->second;
+    const auto mck_rel = core::relative_to(by_config.at("McKernel"), by_config.at("Linux"));
+    const auto mos_rel = core::relative_to(by_config.at("mOS"), by_config.at("Linux"));
 
-    core::Table table{{std::string(app->name()) + " nodes", "McKernel/Linux",
-                       "mOS/Linux"}};
+    core::Table table{{app + " nodes", "McKernel/Linux", "mOS/Linux"}};
     for (std::size_t i = 0; i < mck_rel.size(); ++i) {
       table.add_row({std::to_string(mck_rel[i].nodes), core::fmt(mck_rel[i].ratio, 3),
                      core::fmt(mos_rel[i].ratio, 3)});
     }
     std::printf("%s\n", table.to_string().c_str());
-
-    mck_curves.push_back(mck_rel);
-    mos_curves.push_back(mos_rel);
+    all_rel.push_back(mck_rel);
+    all_rel.push_back(mos_rel);
   }
 
-  std::vector<std::vector<core::RelativePoint>> all = mck_curves;
-  all.insert(all.end(), mos_curves.begin(), mos_curves.end());
-  const core::Headline h = core::headline(all);
+  const core::Headline h = core::headline(all_rel);
   std::printf("HEADLINE  median LWK/Linux ratio: %s   best: %s\n",
               core::fmt_pct(h.median_ratio).c_str(), core::fmt_pct(h.best_ratio).c_str());
   std::printf("          paper: median +9%% (109%%), best ~280%% gain aside from the\n"
-              "          MiniFE outliers (6.47x / 7.01x at 1,024 nodes)\n");
+              "          MiniFE outliers (6.47x / 7.01x at 1,024 nodes)\n\n");
+
+  const core::CampaignTelemetry& t = campaign.telemetry();
+  std::printf("%s\n", core::describe(t, threads).c_str());
+
+  // Serial reference: same grid, one thread, cold cache. Bit-identical
+  // results (positional seeds), so only the wall clock differs.
+  double serial_s = 0.0;
+  if (env_int("MKOS_FIG4_SKIP_SERIAL", 0) == 0) {
+    sim::ThreadPool serial_pool(1);
+    core::CellCache serial_cache;
+    core::Campaign serial_campaign(serial_pool, serial_cache);
+    const auto s0 = std::chrono::steady_clock::now();
+    (void)run_cells(serial_campaign, max_nodes, reps);
+    serial_s = seconds_since(s0);
+    std::printf("serial reference (1 thread, cold cache): %.3f s   speedup: %.2fx\n",
+                serial_s, parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  }
+
+  core::JsonObject json;
+  json.text("bench", "fig4_campaign")
+      .integer("threads", threads)
+      .integer("reps", reps)
+      .integer("max_nodes", max_nodes)
+      .integer("cells", static_cast<std::int64_t>(t.cells))
+      .integer("cache_hits", static_cast<std::int64_t>(t.cache_hits))
+      .number("cache_hit_rate", t.hit_rate())
+      .number("wall_s_parallel", parallel_s)
+      .number("cells_per_s", t.cells_per_second())
+      .number("wall_s_serial", serial_s)
+      .number("speedup", serial_s > 0.0 && parallel_s > 0.0 ? serial_s / parallel_s : 0.0)
+      .number("headline_median_ratio", h.median_ratio)
+      .number("headline_best_ratio", h.best_ratio);
+  if (!core::write_text_file("BENCH_campaign.json", json.to_string())) {
+    std::fprintf(stderr, "warning: could not write BENCH_campaign.json\n");
+  }
   return 0;
 }

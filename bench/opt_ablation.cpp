@@ -4,16 +4,12 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "core/campaign.hpp"
 #include "core/report.hpp"
 
 namespace {
 
 using mkos::core::SystemConfig;
-
-double median_at_16(mkos::workloads::App& app, const SystemConfig& config) {
-  return mkos::core::run_app(app, config, /*nodes=*/16, /*reps=*/5, /*seed=*/31).median();
-}
 
 }  // namespace
 
@@ -32,21 +28,32 @@ int main() {
   SystemConfig both = premap;
   both.mckernel_disable_sched_yield = true;
 
+  // All 8 cells (2 apps x 4 option sets) fan out across the pool at once.
+  sim::ThreadPool pool;
+  core::CellCache cache;
+  core::Campaign campaign(pool, cache);
+  core::CampaignSpec spec;
+  spec.apps = {"AMG2013", "MiniFE"};
+  spec.configs = {plain, premap, yield, both};
+  spec.nodes = {16};
+  spec.reps = 5;
+  spec.seed = 31;
+  const auto cells = campaign.run(spec);
+
   core::Table table{{"app @16 nodes", "+premap only", "+yield only", "both",
                      "paper (both)"}};
   struct Row {
-    const char* name;
-    std::unique_ptr<workloads::App> app;
+    const char* label;
+    std::size_t first_cell;  // cells are app-major, configs in spec order
     const char* paper;
   };
-  Row rows[] = {{"AMG 2013", workloads::make_amg2013(), "+9%"},
-                {"MiniFE", workloads::make_minife(), "+2%"}};
-  for (auto& row : rows) {
-    const double base = median_at_16(*row.app, plain);
-    const double p = median_at_16(*row.app, premap);
-    const double y = median_at_16(*row.app, yield);
-    const double b = median_at_16(*row.app, both);
-    table.add_row({row.name, core::fmt_pct(p / base - 1.0), core::fmt_pct(y / base - 1.0),
+  const Row rows[] = {{"AMG 2013", 0, "+9%"}, {"MiniFE", 4, "+2%"}};
+  for (const Row& row : rows) {
+    const double base = cells[row.first_cell].stats.median();
+    const double p = cells[row.first_cell + 1].stats.median();
+    const double y = cells[row.first_cell + 2].stats.median();
+    const double b = cells[row.first_cell + 3].stats.median();
+    table.add_row({row.label, core::fmt_pct(p / base - 1.0), core::fmt_pct(y / base - 1.0),
                    core::fmt_pct(b / base - 1.0), row.paper});
   }
   std::printf("%s\n", table.to_string().c_str());

@@ -1,13 +1,18 @@
 // Campaign runner: sweep every Fig. 4 application over OS stacks and node
-// counts, emitting machine-readable CSV (stdout) for external plotting.
+// counts on the parallel campaign engine, emitting machine-readable CSV
+// (stdout) for external plotting plus runner telemetry (stderr).
 //
 //   $ ./examples/campaign > results.csv
 //   $ ./examples/campaign 64 3        # cap node count, repetitions
+//   $ MKOS_THREADS=8 ./examples/campaign
+//
+// Results are bit-identical at any thread count: cell seeds derive from
+// hash(app, config fingerprint, nodes, rep), not execution order.
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/experiment.hpp"
+#include "core/campaign.hpp"
 #include "core/report.hpp"
 
 int main(int argc, char** argv) {
@@ -16,20 +21,27 @@ int main(int argc, char** argv) {
   const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 2048;
   const int reps = argc > 2 ? std::atoi(argv[2]) : 5;
 
+  sim::ThreadPool pool;
+  core::CellCache cache;
+  core::Campaign campaign(pool, cache);
+
+  core::CampaignSpec spec;
+  spec.apps = workloads::fig4_app_names();
+  spec.configs = {core::SystemConfig::linux_default(), core::SystemConfig::mckernel(),
+                  core::SystemConfig::mos()};
+  spec.reps = reps;
+  spec.seed = 2026;
+  spec.max_nodes = max_nodes;
+
   core::Table table{{"app", "os", "nodes", "metric", "median", "min", "max"}};
-  for (const auto& app : workloads::make_fig4_apps()) {
-    for (const auto os :
-         {kernel::OsKind::kLinux, kernel::OsKind::kMcKernel, kernel::OsKind::kMos}) {
-      const core::SystemConfig config = core::SystemConfig::for_os(os);
-      for (const auto& point :
-           core::scaling_sweep(*app, config, reps, /*seed=*/2026, max_nodes)) {
-        table.add_row({std::string(app->name()), config.label(),
-                       std::to_string(point.nodes), std::string(app->metric()),
-                       core::fmt_sci(point.median, 6), core::fmt_sci(point.min, 6),
-                       core::fmt_sci(point.max, 6)});
-      }
-    }
+  for (const core::CellResult& cell : campaign.run(spec)) {
+    const auto app = workloads::make_app(cell.app);
+    table.add_row({cell.app, cell.config_label, std::to_string(cell.nodes),
+                   std::string(app->metric()), core::fmt_sci(cell.stats.median(), 6),
+                   core::fmt_sci(cell.stats.min(), 6),
+                   core::fmt_sci(cell.stats.max(), 6)});
   }
   std::fputs(table.to_csv().c_str(), stdout);
+  std::fputs(core::describe(campaign.telemetry(), pool.size()).c_str(), stderr);
   return 0;
 }

@@ -1,0 +1,157 @@
+#include "core/campaign.hpp"
+
+#include <chrono>
+
+#include "core/report.hpp"
+#include "sim/contracts.hpp"
+
+namespace mkos::core {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   since)
+      .count();
+}
+
+}  // namespace
+
+std::optional<RunStats> CellCache::lookup(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void CellCache::store(std::uint64_t key, const RunStats& stats) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cells_.insert_or_assign(key, stats);
+}
+
+void CellCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cells_.clear();
+}
+
+std::size_t CellCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+std::uint64_t CellCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t CellCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t cell_cache_key(std::string_view app_name, const SystemConfig& config,
+                             int nodes, int reps, std::uint64_t seed) {
+  // Reuse the seed-derivation hash with a stream tag far outside the rep
+  // range, folding `reps` in: same cell, different rep count, different key.
+  return rep_seed(cell_fingerprint(app_name, config, nodes, seed),
+                  /*rep=*/reps, /*stream=*/0xCAC4EULL);
+}
+
+Campaign::Campaign(sim::ThreadPool& pool, CellCache& cache)
+    : pool_(pool), cache_(cache) {}
+
+std::vector<CellResult> Campaign::run(const CampaignSpec& spec) {
+  MKOS_EXPECTS(spec.reps >= 1);
+  const auto started = std::chrono::steady_clock::now();
+
+  // Enumerate the grid in deterministic order.
+  struct Cell {
+    std::size_t result_index;
+    std::string app;
+    const SystemConfig* config;
+    int nodes;
+    std::uint64_t key;
+  };
+  std::vector<CellResult> results;
+  std::vector<Cell> grid;
+  for (const std::string& app_name : spec.apps) {
+    const auto probe = workloads::make_app(app_name);
+    MKOS_EXPECTS(probe != nullptr);
+    std::vector<int> counts = spec.nodes;
+    if (counts.empty()) counts = probe->node_counts();
+    for (const SystemConfig& config : spec.configs) {
+      for (const int nodes : counts) {
+        if (nodes > spec.max_nodes) continue;
+        const std::uint64_t key =
+            cell_cache_key(app_name, config, nodes, spec.reps, spec.seed);
+        grid.push_back(Cell{results.size(), app_name, &config, nodes, key});
+        results.push_back(CellResult{app_name, config.label(), config.fingerprint(),
+                                     nodes, RunStats{}, false, 0.0});
+      }
+    }
+  }
+
+  // Resolve cache hits up front and dedupe identical cells within this run:
+  // the first occurrence of a key simulates, later ones are cache hits by
+  // construction (their results are copied after the fan-out completes).
+  std::vector<const Cell*> to_simulate;
+  std::unordered_map<std::uint64_t, std::size_t> first_occurrence;
+  std::vector<std::pair<std::size_t, std::size_t>> duplicates;  // (dst, src) indices
+  for (const Cell& cell : grid) {
+    if (const auto cached = cache_.lookup(cell.key)) {
+      results[cell.result_index].stats = *cached;
+      results[cell.result_index].from_cache = true;
+      continue;
+    }
+    const auto [it, inserted] = first_occurrence.try_emplace(cell.key, cell.result_index);
+    if (inserted) {
+      to_simulate.push_back(&cell);
+    } else {
+      duplicates.emplace_back(cell.result_index, it->second);
+      results[cell.result_index].from_cache = true;
+    }
+  }
+
+  sim::parallel_for(pool_, to_simulate.size(), [&](std::size_t i) {
+    const Cell& cell = *to_simulate[i];
+    CellResult& out = results[cell.result_index];
+    const auto cell_started = std::chrono::steady_clock::now();
+    // Each task owns its App: no simulator state crosses threads.
+    const auto app = workloads::make_app(cell.app);
+    out.stats = run_app(*app, *cell.config, cell.nodes, spec.reps, spec.seed);
+    out.wall_ms = elapsed_ms(cell_started);
+    cache_.store(cell.key, out.stats);
+  });
+
+  for (const auto& [dst, src] : duplicates) results[dst].stats = results[src].stats;
+
+  telemetry_.cells += grid.size();
+  telemetry_.cache_hits += grid.size() - to_simulate.size();
+  telemetry_.wall_seconds += elapsed_ms(started) / 1e3;
+  for (const Cell* cell : to_simulate) {
+    telemetry_.cell_wall_ms.add(results[cell->result_index].wall_ms);
+  }
+  return results;
+}
+
+std::string describe(const CampaignTelemetry& t, int threads) {
+  Table table{{"campaign telemetry", "value"}};
+  table.add_row({"threads", std::to_string(threads)});
+  table.add_row({"cells", std::to_string(t.cells)});
+  table.add_row({"cache hits", std::to_string(t.cache_hits)});
+  table.add_row({"cache hit rate", fmt_pct(t.hit_rate())});
+  table.add_row({"wall seconds", fmt(t.wall_seconds, 3)});
+  table.add_row({"cells/s", fmt(t.cells_per_second(), 1)});
+  std::string out = table.to_string();
+  if (t.cell_wall_ms.total() > 0) {
+    out += "per-cell wall time (ms):\n";
+    out += t.cell_wall_ms.to_string();
+  }
+  return out;
+}
+
+}  // namespace mkos::core

@@ -1,0 +1,106 @@
+#pragma once
+// Parallel campaign engine.
+//
+// A campaign is an (app × config × nodes) cell grid, each cell being `reps`
+// independent simulated runs. The runner fans cells out across a
+// sim::ThreadPool and memoizes finished cells in a CellCache keyed by the
+// cell fingerprint, so benches that share cells (every figure bench reuses
+// the Linux baseline) hit the cache instead of resimulating. Determinism:
+// seeds are positional (see core/experiment.hpp), so cell results are
+// independent of thread count, scheduling, and cache state.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/histogram.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace mkos::core {
+
+/// Thread-safe memoization of finished cells, keyed by
+/// hash(cell_fingerprint, reps). Apps are identified by registry name, which
+/// pins their parameters, so equal keys imply equal simulations.
+class CellCache {
+ public:
+  [[nodiscard]] std::optional<RunStats> lookup(std::uint64_t key);
+  void store(std::uint64_t key, const RunStats& stats);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, RunStats> cells_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Cache key for one cell; `reps` participates because a 2-rep and a 5-rep
+/// cell share seeds but not statistics.
+[[nodiscard]] std::uint64_t cell_cache_key(std::string_view app_name,
+                                           const SystemConfig& config, int nodes,
+                                           int reps, std::uint64_t seed);
+
+struct CampaignSpec {
+  std::vector<std::string> apps;        ///< registry names (workloads::make_app)
+  std::vector<SystemConfig> configs;
+  std::vector<int> nodes;               ///< empty = each app's own node_counts()
+  int reps = 5;
+  std::uint64_t seed = 42;
+  int max_nodes = 1 << 30;
+};
+
+struct CellResult {
+  std::string app;
+  std::string config_label;
+  std::uint64_t config_fp = 0;
+  int nodes = 0;
+  RunStats stats;
+  bool from_cache = false;
+  double wall_ms = 0.0;  ///< host time to simulate (0 for cache hits)
+};
+
+/// Cumulative runner telemetry across Campaign::run calls.
+struct CampaignTelemetry {
+  std::uint64_t cells = 0;       ///< cells requested
+  std::uint64_t cache_hits = 0;  ///< cells served from cache (incl. in-run dups)
+  double wall_seconds = 0.0;     ///< host wall time inside run()
+  sim::Histogram cell_wall_ms{1e-3, 1e5, 4};  ///< per simulated cell, host ms
+
+  [[nodiscard]] double cells_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double hit_rate() const {
+    return cells > 0 ? static_cast<double>(cache_hits) / static_cast<double>(cells) : 0.0;
+  }
+};
+
+class Campaign {
+ public:
+  /// The cache is borrowed: share one across Campaign instances (and specs)
+  /// to share cells across benches within a process.
+  Campaign(sim::ThreadPool& pool, CellCache& cache);
+
+  /// Execute the cell grid. Results come back in deterministic grid order
+  /// (app-major, then config, then nodes), independent of thread count.
+  [[nodiscard]] std::vector<CellResult> run(const CampaignSpec& spec);
+
+  [[nodiscard]] const CampaignTelemetry& telemetry() const { return telemetry_; }
+
+ private:
+  sim::ThreadPool& pool_;
+  CellCache& cache_;
+  CampaignTelemetry telemetry_;
+};
+
+/// Render telemetry with the core/report toolkit (table + histogram).
+[[nodiscard]] std::string describe(const CampaignTelemetry& t, int threads);
+
+}  // namespace mkos::core

@@ -26,6 +26,32 @@ SystemConfig SystemConfig::for_os(kernel::OsKind os) {
 
 std::string SystemConfig::label() const { return std::string(kernel::to_string(os)); }
 
+std::uint64_t SystemConfig::fingerprint() const {
+  // FNV-1a over a canonical field sequence. Every knob participates; adding a
+  // field to SystemConfig must extend this list or cells with different
+  // behavior would alias in the campaign cache.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(os));
+  mix(static_cast<std::uint64_t>(mem_mode));
+  mix(static_cast<std::uint64_t>(app_cores));
+  mix(static_cast<std::uint64_t>(service_cores));
+  std::uint64_t bools = 0;
+  for (const bool b : {linux_nohz_full, linux_thp, hpc_brk, lwk_prefer_mcdram,
+                       mckernel_demand_fallback, mckernel_mpol_shm_premap,
+                       mckernel_disable_sched_yield, mos_partition_mcdram,
+                       user_space_network, co_tenant}) {
+    bools = (bools << 1) | static_cast<std::uint64_t>(b);
+  }
+  mix(bools);
+  return h;
+}
+
 kernel::NodeOsConfig SystemConfig::node_config() const {
   kernel::NodeOsConfig nc;
   nc.os = os;

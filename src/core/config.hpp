@@ -3,6 +3,7 @@
 // which OS stack, which feature toggles, which memory mode, which fabric.
 // This is the public entry point a downstream user starts from.
 
+#include <cstdint>
 #include <string>
 
 #include "hw/cluster.hpp"
@@ -49,6 +50,13 @@ struct SystemConfig {
 
   /// Short human label ("McKernel", "Linux", "mOS").
   [[nodiscard]] std::string label() const;
+
+  /// Stable 64-bit fingerprint over every knob above. Two configs compare
+  /// equal iff they produce the same fingerprint (field-by-field hash, not a
+  /// memory hash — padding and field order changes don't perturb it). The
+  /// campaign engine derives cell seeds and cache keys from this, so it must
+  /// stay identical across processes and runs.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   [[nodiscard]] kernel::NodeOsConfig node_config() const;
   [[nodiscard]] hw::NodeTopology node_topology() const;

@@ -1,46 +1,144 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/contracts.hpp"
 
 namespace mkos::core {
 
 namespace {
-std::uint64_t mix_seed(std::uint64_t seed, int rep) {
-  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep + 1);
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
+
+// splitmix64 finalizer: cheap avalanche so sequential inputs (rep indices,
+// node counts) land on uncorrelated streams.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
   return x;
 }
-}  // namespace
 
-RunStats run_app(workloads::App& app, const SystemConfig& config, int nodes, int reps,
-                 std::uint64_t seed) {
-  MKOS_EXPECTS(reps >= 1);
+/// One repetition of a cell with positionally derived seeds. Thread-safe as
+/// long as `app` is not shared across concurrent calls.
+workloads::AppResult run_once(workloads::App& app, const SystemConfig& config, int nodes,
+                              std::uint64_t cell_fp, int rep) {
+  // Fresh machine per repetition: heap state, placements and partition
+  // fragmentation must not leak across runs.
+  const runtime::Machine machine = config.machine(nodes);
+  runtime::Job job(machine, app.spec(nodes), rep_seed(cell_fp, rep, /*stream=*/0));
+  app.setup(job);
+  runtime::MpiWorld world(job, rep_seed(cell_fp, rep, /*stream=*/1));
+  return app.run(job, world);
+}
+
+std::vector<int> capped_node_counts(const workloads::App& app, int max_nodes) {
+  std::vector<int> counts;
+  for (const int nodes : app.node_counts()) {
+    if (nodes <= max_nodes) counts.push_back(nodes);
+  }
+  return counts;
+}
+
+std::unique_ptr<workloads::App> registry_app(std::string_view name) {
+  auto app = workloads::make_app(name);
+  MKOS_EXPECTS(app != nullptr);  // pooled overloads need a registry name
+  return app;
+}
+
+RunStats collect(const std::vector<workloads::AppResult>& results) {
   RunStats rs;
-  for (int rep = 0; rep < reps; ++rep) {
-    // Fresh machine per repetition: heap state, placements and partition
-    // fragmentation must not leak across runs.
-    const runtime::Machine machine = config.machine(nodes);
-    runtime::Job job(machine, app.spec(nodes), mix_seed(seed, rep));
-    app.setup(job);
-    runtime::MpiWorld world(job, mix_seed(seed ^ 0xc0ffee, rep));
-    const workloads::AppResult res = app.run(job, world);
+  for (const workloads::AppResult& res : results) {
     rs.fom.add(res.fom);
     rs.unit = res.unit;
   }
   return rs;
 }
 
+}  // namespace
+
+std::uint64_t cell_fingerprint(std::string_view app_name, const SystemConfig& config,
+                               int nodes, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : app_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h = mix64(h ^ config.fingerprint());
+  h = mix64(h ^ static_cast<std::uint64_t>(nodes));
+  return mix64(h ^ seed);
+}
+
+std::uint64_t rep_seed(std::uint64_t cell_fp, int rep, std::uint64_t stream) {
+  return mix64(cell_fp + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep + 1) +
+               (stream << 32));
+}
+
+RunStats run_app(workloads::App& app, const SystemConfig& config, int nodes, int reps,
+                 std::uint64_t seed) {
+  MKOS_EXPECTS(reps >= 1);
+  const std::uint64_t fp = cell_fingerprint(app.name(), config, nodes, seed);
+  std::vector<workloads::AppResult> results;
+  results.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    results.push_back(run_once(app, config, nodes, fp, rep));
+  }
+  return collect(results);
+}
+
+RunStats run_app(std::string_view app_name, const SystemConfig& config, int nodes,
+                 int reps, std::uint64_t seed, sim::ThreadPool& pool) {
+  MKOS_EXPECTS(reps >= 1);
+  registry_app(app_name);  // fail fast on unknown names, before fan-out
+  const std::uint64_t fp = cell_fingerprint(app_name, config, nodes, seed);
+  std::vector<workloads::AppResult> results(static_cast<std::size_t>(reps));
+  sim::parallel_for(pool, static_cast<std::size_t>(reps), [&](std::size_t rep) {
+    // Own App per task: proxies keep per-run scratch, and sharing one across
+    // threads would race setup() against run().
+    const auto app = registry_app(app_name);
+    results[rep] = run_once(*app, config, nodes, fp, static_cast<int>(rep));
+  });
+  return collect(results);
+}
+
 std::vector<ScalingPoint> scaling_sweep(workloads::App& app, const SystemConfig& config,
                                         int reps, std::uint64_t seed, int max_nodes) {
   std::vector<ScalingPoint> out;
-  for (int nodes : app.node_counts()) {
-    if (nodes > max_nodes) continue;
-    const RunStats rs = run_app(app, config, nodes, reps, seed + static_cast<std::uint64_t>(nodes));
+  for (const int nodes : capped_node_counts(app, max_nodes)) {
+    const RunStats rs = run_app(app, config, nodes, reps, seed);
     out.push_back(ScalingPoint{nodes, rs.median(), rs.min(), rs.max()});
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> scaling_sweep(std::string_view app_name,
+                                        const SystemConfig& config, int reps,
+                                        std::uint64_t seed, sim::ThreadPool& pool,
+                                        int max_nodes) {
+  MKOS_EXPECTS(reps >= 1);
+  const auto probe = registry_app(app_name);
+  const std::vector<int> counts = capped_node_counts(*probe, max_nodes);
+
+  // Flatten to (node, rep) tasks for load balance: large-node cells dominate
+  // wall time and would serialize a per-node fan-out's tail.
+  std::vector<std::vector<workloads::AppResult>> results(counts.size());
+  for (auto& cell : results) cell.resize(static_cast<std::size_t>(reps));
+  sim::parallel_for(pool, counts.size() * static_cast<std::size_t>(reps),
+                    [&](std::size_t task) {
+                      const std::size_t ci = task / static_cast<std::size_t>(reps);
+                      const int rep = static_cast<int>(task % static_cast<std::size_t>(reps));
+                      const std::uint64_t fp =
+                          cell_fingerprint(app_name, config, counts[ci], seed);
+                      const auto app = registry_app(app_name);
+                      results[ci][rep] = run_once(*app, config, counts[ci], fp, rep);
+                    });
+
+  std::vector<ScalingPoint> out;
+  out.reserve(counts.size());
+  for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+    const RunStats rs = collect(results[ci]);
+    out.push_back(ScalingPoint{counts[ci], rs.median(), rs.min(), rs.max()});
   }
   return out;
 }
@@ -51,7 +149,9 @@ std::vector<RelativePoint> relative_to(const std::vector<ScalingPoint>& subject,
   for (const auto& s : subject) {
     const auto it = std::find_if(baseline.begin(), baseline.end(),
                                  [&](const ScalingPoint& b) { return b.nodes == s.nodes; });
-    if (it == baseline.end() || it->median == 0.0) continue;
+    // A degenerate baseline (zero, negative, NaN or infinite median) would
+    // poison every downstream ratio and the headline(); drop the point.
+    if (it == baseline.end() || !std::isfinite(it->median) || it->median <= 0.0) continue;
     out.push_back(RelativePoint{s.nodes, s.median / it->median});
   }
   return out;

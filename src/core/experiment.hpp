@@ -3,12 +3,21 @@
 // node count, repeated with independent noise seeds, reporting the median
 // with min/max error bars — the paper's methodology ("We ran most
 // applications five times and show the median").
+//
+// Seeds are positional: every repetition's RNG streams derive from
+// hash(app name, SystemConfig::fingerprint(), nodes, campaign seed, rep),
+// never from execution order. The serial entry points and the thread-pooled
+// overloads therefore produce bit-identical statistics, and the campaign
+// cache can key results by the same fingerprint.
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
 #include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
 #include "workloads/app.hpp"
 
 namespace mkos::core {
@@ -22,9 +31,28 @@ struct RunStats {
   [[nodiscard]] double max() const { return fom.max(); }
 };
 
-/// One (app, config, nodes) cell: `reps` independent runs.
+/// Stable seed base for one (app, config, nodes) cell under a campaign seed.
+/// Identical inputs give identical cells on every run, thread count, and
+/// sweep order.
+[[nodiscard]] std::uint64_t cell_fingerprint(std::string_view app_name,
+                                             const SystemConfig& config, int nodes,
+                                             std::uint64_t seed);
+
+/// Seed for one RNG stream of repetition `rep` within a cell. `stream`
+/// separates independent consumers (job/machine noise vs MPI world).
+[[nodiscard]] std::uint64_t rep_seed(std::uint64_t cell_fp, int rep,
+                                     std::uint64_t stream = 0);
+
+/// One (app, config, nodes) cell: `reps` independent runs, serial.
 [[nodiscard]] RunStats run_app(workloads::App& app, const SystemConfig& config,
                                int nodes, int reps, std::uint64_t seed);
+
+/// Thread-pooled cell: repetitions fan out as independent tasks, each
+/// constructing its own App through the registry (`app_name` must be a
+/// registry name). Bit-identical to the serial overload.
+[[nodiscard]] RunStats run_app(std::string_view app_name, const SystemConfig& config,
+                               int nodes, int reps, std::uint64_t seed,
+                               sim::ThreadPool& pool);
 
 struct ScalingPoint {
   int nodes = 0;
@@ -37,6 +65,14 @@ struct ScalingPoint {
 [[nodiscard]] std::vector<ScalingPoint> scaling_sweep(workloads::App& app,
                                                       const SystemConfig& config,
                                                       int reps, std::uint64_t seed,
+                                                      int max_nodes = 1 << 30);
+
+/// Thread-pooled sweep: (node count, repetition) pairs fan out as independent
+/// tasks. Bit-identical to the serial overload for the same inputs.
+[[nodiscard]] std::vector<ScalingPoint> scaling_sweep(std::string_view app_name,
+                                                      const SystemConfig& config,
+                                                      int reps, std::uint64_t seed,
+                                                      sim::ThreadPool& pool,
                                                       int max_nodes = 1 << 30);
 
 /// Median relative performance vs a baseline sweep (same node counts).

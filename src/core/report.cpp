@@ -89,6 +89,60 @@ std::string fmt_pct(double ratio, int precision) {
   return buf;
 }
 
+namespace {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::number(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  fields_.push_back(json_quote(key) + ": " + buf);
+  return *this;
+}
+
+JsonObject& JsonObject::integer(const std::string& key, std::int64_t v) {
+  fields_.push_back(json_quote(key) + ": " + std::to_string(v));
+  return *this;
+}
+
+JsonObject& JsonObject::text(const std::string& key, const std::string& v) {
+  fields_.push_back(json_quote(key) + ": " + json_quote(v));
+  return *this;
+}
+
+std::string JsonObject::to_string() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += "  " + fields_[i];
+    if (i + 1 < fields_.size()) out += ',';
+    out += '\n';
+  }
+  out += "}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
 void print_banner(const std::string& title, const std::string& paper_ref) {
   std::string bar(72, '=');
   std::printf("%s\n%s\n  (%s)\n%s\n", bar.c_str(), title.c_str(), paper_ref.c_str(),

@@ -1,6 +1,8 @@
 #pragma once
-// ASCII table / number formatting for the bench harness output.
+// ASCII table / number formatting / BENCH_*.json emission for the bench
+// harness output.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,5 +36,22 @@ class Table {
 
 /// Section banner used by every bench binary.
 void print_banner(const std::string& title, const std::string& paper_ref);
+
+/// Flat JSON object builder for machine-readable perf artifacts
+/// (BENCH_*.json): insertion-ordered key/value pairs, no nesting.
+class JsonObject {
+ public:
+  JsonObject& number(const std::string& key, double v);
+  JsonObject& integer(const std::string& key, std::int64_t v);
+  JsonObject& text(const std::string& key, const std::string& v);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+/// Write `content` to `path` (truncating); returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
 
 }  // namespace mkos::core

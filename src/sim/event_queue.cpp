@@ -6,19 +6,16 @@
 
 namespace mkos::sim {
 
-EventQueue::~EventQueue() {
-  for (Entry* e : heap_) delete e;
-}
-
 EventId EventQueue::schedule_at(TimeNs at, Action action) {
   MKOS_EXPECTS(at >= now_);
-  auto* e = new Entry{at, next_seq_++, next_id_++, std::move(action), false};
-  heap_.push_back(e);
+  auto e = std::make_unique<Entry>(Entry{at, next_seq_++, next_id_++, std::move(action), false});
+  Entry* raw = e.get();
+  heap_.push_back(std::move(e));
   std::push_heap(heap_.begin(), heap_.end(), Cmp{});
-  index_.resize(std::max<std::size_t>(index_.size(), e->id));
-  index_[e->id - 1] = e;
+  index_.resize(std::max<std::size_t>(index_.size(), raw->id));
+  index_[raw->id - 1] = raw;
   ++live_;
-  return e->id;
+  return raw->id;
 }
 
 EventId EventQueue::schedule_after(TimeNs delay, Action action) {
@@ -37,44 +34,37 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
-EventQueue::Entry* EventQueue::pop_next() {
+std::unique_ptr<EventQueue::Entry> EventQueue::pop_next() {
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), Cmp{});
-    Entry* e = heap_.back();
+    std::unique_ptr<Entry> e = std::move(heap_.back());
     heap_.pop_back();
-    if (e->cancelled) {
-      delete e;
-      continue;
-    }
+    if (e->cancelled) continue;
     return e;
   }
   return nullptr;
 }
 
 bool EventQueue::step() {
-  Entry* e = pop_next();
+  const std::unique_ptr<Entry> e = pop_next();
   if (e == nullptr) return false;
   MKOS_ASSERT(e->at >= now_);
   now_ = e->at;
   index_[e->id - 1] = nullptr;
   --live_;
   ++executed_;
-  Action action = std::move(e->action);
-  delete e;
+  const Action action = std::move(e->action);
   action();
   return true;
 }
 
 void EventQueue::run_until(TimeNs limit) {
   while (true) {
-    Entry* peek = nullptr;
     while (!heap_.empty() && heap_.front()->cancelled) {
       std::pop_heap(heap_.begin(), heap_.end(), Cmp{});
-      delete heap_.back();
       heap_.pop_back();
     }
-    if (!heap_.empty()) peek = heap_.front();
-    if (peek == nullptr || peek->at > limit) break;
+    if (heap_.empty() || heap_.front()->at > limit) break;
     step();
   }
   now_ = std::max(now_, limit);

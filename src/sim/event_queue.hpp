@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -55,7 +56,7 @@ class EventQueue {
     bool cancelled = false;
   };
   struct Cmp {
-    bool operator()(const Entry* a, const Entry* b) const {
+    bool operator()(const std::unique_ptr<Entry>& a, const std::unique_ptr<Entry>& b) const {
       if (a->at != b->at) return a->at > b->at;
       return a->seq > b->seq;
     }
@@ -66,17 +67,18 @@ class EventQueue {
   EventId next_id_ = 1;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;
-  std::vector<Entry*> heap_;  // owned; freed on pop or destruction
+  // Owning heap: cancelled-but-unpopped entries are reclaimed with the queue,
+  // never leaked on early destruction.
+  std::vector<std::unique_ptr<Entry>> heap_;
 
  public:
   EventQueue() = default;
-  ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
  private:
-  Entry* pop_next();
-  std::vector<Entry*> index_;  // id -> entry (sparse by id - 1), nulled when done
+  std::unique_ptr<Entry> pop_next();
+  std::vector<Entry*> index_;  // id -> entry (sparse by id - 1, non-owning), nulled when done
 };
 
 }  // namespace mkos::sim

@@ -1,0 +1,106 @@
+#include "sim/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::sim {
+
+ThreadPool::ThreadPool(int threads) {
+  MKOS_EXPECTS(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  MKOS_EXPECTS(task != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    MKOS_EXPECTS(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::uint64_t ThreadPool::completed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("MKOS_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      ++completed_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } join{.mu = {}, .cv = {}, .remaining = n, .error = nullptr};
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&join, &body, i] {
+      std::exception_ptr ep;
+      try {
+        body(i);
+      } catch (...) {
+        ep = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(join.mu);
+      if (ep != nullptr && join.error == nullptr) join.error = ep;
+      if (--join.remaining == 0) join.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(join.mu);
+  join.cv.wait(lock, [&join] { return join.remaining == 0; });
+  if (join.error != nullptr) std::rethrow_exception(join.error);
+}
+
+}  // namespace mkos::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Fixed-size thread pool for the campaign engine.
+//
+// Deliberately work-stealing-free: one shared FIFO queue, a fixed worker
+// count, no task priorities. Campaign cells are coarse (a full simulated
+// app run each), so a single locked queue is nowhere near contended and the
+// FIFO order keeps scheduling easy to reason about. Determinism is never the
+// pool's job — tasks derive every random stream from positional seeds and
+// write results into caller-indexed slots, so execution order cannot leak
+// into results.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mkos::sim {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (>= 1). Defaults to `default_threads()`.
+  explicit ThreadPool(int threads = default_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw and must not call back into the
+  /// pool's blocking APIs (wait_idle / parallel_for) — cells are leaves.
+  void submit(Task task);
+
+  /// Block until the queue is empty AND no task is executing.
+  void wait_idle();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Total tasks completed over the pool's lifetime.
+  [[nodiscard]] std::uint64_t completed() const;
+
+  /// `MKOS_THREADS` env var when set (clamped to >= 1), otherwise
+  /// `std::thread::hardware_concurrency()`.
+  [[nodiscard]] static int default_threads();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait_idle() waits for drain
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `body(0..n-1)` across the pool and block until all complete. The first
+/// exception thrown by any body is rethrown in the caller (remaining
+/// iterations still run to completion). Must not be called from inside a
+/// pool task.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace mkos::sim

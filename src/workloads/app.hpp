@@ -89,6 +89,14 @@ std::unique_ptr<App> make_minife(int nx = 660);
 /// All Fig. 4 apps, in the figure's order.
 [[nodiscard]] std::vector<std::unique_ptr<App>> make_fig4_apps();
 
+/// Registry names of the Fig. 4 apps, in the figure's order. The campaign
+/// engine works in names rather than instances: every parallel task builds
+/// its own App through make_app() so no simulator state crosses threads.
+[[nodiscard]] std::vector<std::string> fig4_app_names();
+
+/// Every name make_app() accepts (Fig. 4 suite + Lulesh2.0).
+[[nodiscard]] std::vector<std::string> registry_names();
+
 /// Factory by name ("AMG2013", "CCS-QCD", ...); nullptr when unknown.
 [[nodiscard]] std::unique_ptr<App> make_app(std::string_view name);
 

@@ -5,17 +5,21 @@
 namespace mkos::workloads {
 
 std::vector<std::unique_ptr<App>> make_fig4_apps() {
+  std::vector<std::unique_ptr<App>> apps;
+  for (const std::string& name : fig4_app_names()) apps.push_back(make_app(name));
+  return apps;
+}
+
+std::vector<std::string> fig4_app_names() {
   // Fig. 4 order: AMG2013, CCS-QCD, GeoFEM, HPCG, LAMMPS, MILC, MiniFE
   // ("We left out Lulesh 2.0 since it uses different node counts").
-  std::vector<std::unique_ptr<App>> apps;
-  apps.push_back(make_amg2013());
-  apps.push_back(make_ccs_qcd());
-  apps.push_back(make_geofem());
-  apps.push_back(make_hpcg());
-  apps.push_back(make_lammps());
-  apps.push_back(make_milc());
-  apps.push_back(make_minife());
-  return apps;
+  return {"AMG2013", "CCS-QCD", "GeoFEM", "HPCG", "LAMMPS", "MILC", "MiniFE"};
+}
+
+std::vector<std::string> registry_names() {
+  std::vector<std::string> names = fig4_app_names();
+  names.insert(names.begin() + 5, "Lulesh2.0");  // alphabetical slot
+  return names;
 }
 
 std::unique_ptr<App> make_app(std::string_view name) {

@@ -1,0 +1,210 @@
+// Unit tests: thread pool, campaign engine, determinism and cell cache.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "core/campaign.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using namespace mkos;
+using namespace mkos::core;
+
+// ------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  sim::ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&hits] { hits.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 100);
+  EXPECT_EQ(pool.completed(), 100u);
+  EXPECT_EQ(pool.size(), 4);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  sim::ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(257);
+  sim::parallel_for(pool, seen.size(), [&seen](std::size_t i) { seen[i].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTheFirstException) {
+  sim::ThreadPool pool(2);
+  EXPECT_THROW(sim::parallel_for(pool, 8,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  pool.wait_idle();  // the pool must stay usable afterwards
+  std::atomic<int> hits{0};
+  sim::parallel_for(pool, 4, [&hits](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvVar) {
+  ASSERT_EQ(setenv("MKOS_THREADS", "3", 1), 0);
+  EXPECT_EQ(sim::ThreadPool::default_threads(), 3);
+  ASSERT_EQ(setenv("MKOS_THREADS", "0", 1), 0);  // nonsense falls back to hardware
+  EXPECT_GE(sim::ThreadPool::default_threads(), 1);
+  ASSERT_EQ(unsetenv("MKOS_THREADS"), 0);
+  EXPECT_GE(sim::ThreadPool::default_threads(), 1);
+}
+
+// ------------------------------------------------------------ fingerprints
+
+TEST(Fingerprint, DistinguishesEveryKnob) {
+  std::set<std::uint64_t> fps;
+  fps.insert(SystemConfig::linux_default().fingerprint());
+  fps.insert(SystemConfig::mckernel().fingerprint());
+  fps.insert(SystemConfig::mos().fingerprint());
+  SystemConfig c = SystemConfig::mckernel();
+  c.mckernel_mpol_shm_premap = true;
+  fps.insert(c.fingerprint());
+  c.app_cores = 32;
+  fps.insert(c.fingerprint());
+  c.mem_mode = MemMode::kQuadrantFlat;
+  fps.insert(c.fingerprint());
+  EXPECT_EQ(fps.size(), 6u);
+  EXPECT_EQ(SystemConfig::mckernel().fingerprint(), SystemConfig::mckernel().fingerprint());
+}
+
+TEST(Fingerprint, CellSeedsArePositional) {
+  const SystemConfig cfg = SystemConfig::mos();
+  const std::uint64_t fp = cell_fingerprint("HPCG", cfg, 16, 7);
+  EXPECT_EQ(fp, cell_fingerprint("HPCG", cfg, 16, 7));
+  EXPECT_NE(fp, cell_fingerprint("HPCG", cfg, 32, 7));
+  EXPECT_NE(fp, cell_fingerprint("MILC", cfg, 16, 7));
+  EXPECT_NE(fp, cell_fingerprint("HPCG", cfg, 16, 8));
+  EXPECT_NE(rep_seed(fp, 0), rep_seed(fp, 1));
+  EXPECT_NE(rep_seed(fp, 0, 0), rep_seed(fp, 0, 1));
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(Campaign, ParallelRunAppIsBitIdenticalToSerial) {
+  auto app = workloads::make_minife();
+  const RunStats serial = run_app(*app, SystemConfig::mckernel(), 16, 5, 1234);
+  sim::ThreadPool pool(4);
+  const RunStats parallel = run_app("MiniFE", SystemConfig::mckernel(), 16, 5, 1234, pool);
+  ASSERT_EQ(parallel.fom.count(), serial.fom.count());
+  EXPECT_EQ(parallel.unit, serial.unit);
+  // Bit-identical, rep for rep — not merely statistically close.
+  for (std::size_t i = 0; i < serial.fom.samples().size(); ++i) {
+    EXPECT_EQ(parallel.fom.samples()[i], serial.fom.samples()[i]) << "rep " << i;
+  }
+}
+
+TEST(Campaign, SweepMediansBitIdenticalAcrossThreadCounts) {
+  const SystemConfig cfg = SystemConfig::mos();
+  auto app = workloads::make_minife();
+  const auto serial = scaling_sweep(*app, cfg, 3, 99, 64);
+  sim::ThreadPool one(1);
+  sim::ThreadPool many(4);
+  const auto pooled1 = scaling_sweep("MiniFE", cfg, 3, 99, one, 64);
+  const auto pooledN = scaling_sweep("MiniFE", cfg, 3, 99, many, 64);
+  ASSERT_EQ(pooled1.size(), serial.size());
+  ASSERT_EQ(pooledN.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(pooled1[i].nodes, serial[i].nodes);
+    EXPECT_EQ(pooledN[i].nodes, serial[i].nodes);
+    EXPECT_EQ(pooled1[i].median, serial[i].median);
+    EXPECT_EQ(pooledN[i].median, serial[i].median);
+    EXPECT_EQ(pooledN[i].min, serial[i].min);
+    EXPECT_EQ(pooledN[i].max, serial[i].max);
+  }
+}
+
+// -------------------------------------------------------------- cell cache
+
+TEST(Campaign, CacheHitsReturnTheSameRunStats) {
+  sim::ThreadPool pool(4);
+  CellCache cache;
+  Campaign campaign(pool, cache);
+  CampaignSpec spec;
+  spec.apps = {"MiniFE", "HPCG"};
+  spec.configs = {SystemConfig::linux_default(), SystemConfig::mckernel()};
+  spec.nodes = {16, 32};
+  spec.reps = 2;
+  spec.seed = 5;
+
+  const auto first = campaign.run(spec);
+  ASSERT_EQ(first.size(), 8u);
+  for (const auto& cell : first) EXPECT_FALSE(cell.from_cache);
+  EXPECT_EQ(cache.size(), 8u);
+
+  const auto second = campaign.run(spec);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(second[i].from_cache);
+    EXPECT_EQ(second[i].app, first[i].app);
+    EXPECT_EQ(second[i].nodes, first[i].nodes);
+    EXPECT_EQ(second[i].stats.fom.samples(), first[i].stats.fom.samples());
+    EXPECT_EQ(second[i].stats.unit, first[i].stats.unit);
+  }
+  EXPECT_EQ(campaign.telemetry().cells, 16u);
+  EXPECT_EQ(campaign.telemetry().cache_hits, 8u);
+  EXPECT_DOUBLE_EQ(campaign.telemetry().hit_rate(), 0.5);
+}
+
+TEST(Campaign, DuplicateCellsWithinOneRunSimulateOnce) {
+  sim::ThreadPool pool(2);
+  CellCache cache;
+  Campaign campaign(pool, cache);
+  CampaignSpec spec;
+  spec.apps = {"MiniFE"};
+  // The same config twice: the second column must be served as a cache hit.
+  spec.configs = {SystemConfig::linux_default(), SystemConfig::linux_default()};
+  spec.nodes = {16};
+  spec.reps = 2;
+  const auto cells = campaign.run(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_FALSE(cells[0].from_cache);
+  EXPECT_TRUE(cells[1].from_cache);
+  EXPECT_EQ(cells[0].stats.fom.samples(), cells[1].stats.fom.samples());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(campaign.telemetry().cache_hits, 1u);
+}
+
+TEST(Campaign, GridOrderIsAppMajorAndCapped) {
+  sim::ThreadPool pool(2);
+  CellCache cache;
+  Campaign campaign(pool, cache);
+  CampaignSpec spec;
+  spec.apps = {"MiniFE"};
+  spec.configs = {SystemConfig::mckernel()};
+  spec.reps = 1;
+  spec.max_nodes = 64;  // MiniFE's own counts start at 16
+  const auto cells = campaign.run(spec);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].nodes, 16);
+  EXPECT_EQ(cells[2].nodes, 64);
+  EXPECT_EQ(cells[0].config_label, "McKernel");
+  EXPECT_GT(cells[0].stats.median(), 0.0);
+}
+
+// --------------------------------------------------- relative_to guarding
+
+TEST(Experiment, RelativeToSkipsDegenerateBaselines) {
+  const std::vector<ScalingPoint> subject{
+      {16, 110, 0, 0}, {32, 120, 0, 0}, {64, 130, 0, 0}, {128, 140, 0, 0}};
+  const std::vector<ScalingPoint> baseline{
+      {16, 100, 0, 0},
+      {32, 0.0, 0, 0},                                        // zero: divide-by-zero
+      {64, std::numeric_limits<double>::quiet_NaN(), 0, 0},   // NaN: poisons headline
+      {128, -5.0, 0, 0}};                                     // negative: nonsense FOM
+  const auto rel = relative_to(subject, baseline);
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel[0].nodes, 16);
+  EXPECT_DOUBLE_EQ(rel[0].ratio, 1.1);
+}
+
+}  // namespace
