@@ -19,21 +19,16 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "sim/env.hpp"
 
 namespace {
 
 using namespace mkos;
 using core::SystemConfig;
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atoi(v);
-}
 
 core::CampaignSpec fig4_spec(int max_nodes, int reps) {
   core::CampaignSpec spec;
@@ -74,14 +69,16 @@ std::map<std::string, std::map<std::string, std::vector<core::ScalingPoint>>> cu
 }
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
+  // mkos-lint: allow(wall-clock) — host-side telemetry only: times the sweep
+  // itself for the speedup report; never feeds a simulated result.
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
 }  // namespace
 
 int main() {
-  const int max_nodes = env_int("MKOS_FIG4_MAX_NODES", 2048);
-  const int reps = env_int("MKOS_FIG4_REPS", 5);
+  const int max_nodes = sim::env_int("MKOS_FIG4_MAX_NODES", 2048, 1, 1 << 20);
+  const int reps = sim::env_int("MKOS_FIG4_REPS", 5, 1, 1000);
   const int threads = sim::ThreadPool::default_threads();
 
   core::print_banner("Fig. 4 — relative median performance vs Linux, 1..2048 nodes",
@@ -90,6 +87,7 @@ int main() {
   sim::ThreadPool pool(threads);
   core::CellCache cache;
   core::Campaign campaign(pool, cache);
+  // mkos-lint: allow(wall-clock) — host telemetry: parallel sweep wall time.
   const auto t0 = std::chrono::steady_clock::now();
   const auto cells = run_cells(campaign, max_nodes, reps);
   const double parallel_s = seconds_since(t0);
@@ -125,10 +123,11 @@ int main() {
   // Serial reference: same grid, one thread, cold cache. Bit-identical
   // results (positional seeds), so only the wall clock differs.
   double serial_s = 0.0;
-  if (env_int("MKOS_FIG4_SKIP_SERIAL", 0) == 0) {
+  if (sim::env_int("MKOS_FIG4_SKIP_SERIAL", 0, 0, 1) == 0) {
     sim::ThreadPool serial_pool(1);
     core::CellCache serial_cache;
     core::Campaign serial_campaign(serial_pool, serial_cache);
+    // mkos-lint: allow(wall-clock) — host telemetry: serial reference timing.
     const auto s0 = std::chrono::steady_clock::now();
     (void)run_cells(serial_campaign, max_nodes, reps);
     serial_s = seconds_since(s0);

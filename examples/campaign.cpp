@@ -10,16 +10,32 @@
 // hash(app, config fingerprint, nodes, rep), not execution order.
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "sim/env.hpp"
+
+namespace {
+
+/// argv[i] as a strict positive integer, or `fallback` when absent.
+int arg_int(int argc, char** argv, int index, int fallback) {
+  if (argc <= index) return fallback;
+  const auto parsed = mkos::sim::parse_int(argv[index]);
+  if (!parsed || *parsed < 1 || *parsed > (1 << 20)) {
+    std::fprintf(stderr, "campaign: bad argument '%s' (expected integer >= 1)\n",
+                 argv[index]);
+    std::exit(2);
+  }
+  return static_cast<int>(*parsed);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mkos;
 
-  const int max_nodes = argc > 1 ? std::atoi(argv[1]) : 2048;
-  const int reps = argc > 2 ? std::atoi(argv[2]) : 5;
+  const int max_nodes = arg_int(argc, argv, 1, 2048);
+  const int reps = arg_int(argc, argv, 2, 5);
 
   sim::ThreadPool pool;
   core::CellCache cache;

@@ -63,7 +63,9 @@ class Builder {
   }
 
   static std::string pad2(int v) {
-    return (v < 10 ? "0" : "") + std::to_string(v);
+    std::string s = std::to_string(v);
+    if (s.size() < 2) s.insert(0, 1, '0');
+    return s;
   }
   static std::string pad4(int v) {
     std::string s = std::to_string(v);

@@ -95,6 +95,16 @@ std::vector<CellResult> Campaign::run(const CampaignSpec& spec) {
     }
   }
 
+  // Audit: each cell owns a distinct results slot, assigned in grid order —
+  // a collision would let parallel workers cross-write each other's results.
+  MKOS_AUDIT([&] {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].result_index >= results.size()) return false;
+      if (i > 0 && grid[i].result_index <= grid[i - 1].result_index) return false;
+    }
+    return true;
+  }());
+
   // Resolve cache hits up front and dedupe identical cells within this run:
   // the first occurrence of a key simulates, later ones are cache hits by
   // construction (their results are copied after the fan-out completes).

@@ -28,6 +28,13 @@ sim::TimeNs free_tail(PhysMemory& phys, std::vector<Extent>& extents, Placement&
   Placement np;
   for (const auto& e : extents) np.add(e.domain, page, e.length);
   placement = np;
+  // Audit: the rebuilt placement accounts for exactly the surviving extent
+  // bytes — drift here would misprice every later fault and TLB walk.
+  MKOS_AUDIT([&] {
+    sim::Bytes total = 0;
+    for (const auto& e : extents) total += e.length;
+    return placement.total() == total;
+  }());
   return t;
 }
 

@@ -3,17 +3,57 @@
 //
 // Violations abort with a message; contracts stay on in release builds
 // because the simulator's correctness is the product.
+//
+// Two build-time switches refine that default:
+//
+//  * MKOS_CONTRACTS_THROW — violations throw mkos::sim::ContractViolation
+//    instead of aborting. Meant for tests: EXPECT_THROW(..) replaces death
+//    tests (which fork and interact badly with sanitizers and threads).
+//    Translation units compiled without the macro keep abort semantics, so
+//    enabling it for one test target never weakens the libraries.
+//
+//  * MKOS_AUDIT_ENABLED — compiles in MKOS_AUDIT(..) checks: expensive,
+//    whole-structure invariant walks (free-list consistency, cache/grid
+//    agreement) that are too slow for release hot paths. Off by default in
+//    Release, on in Debug; toggle with -DMKOS_AUDIT=ON|OFF. When disabled
+//    the condition is not evaluated (but still compiled, so it cannot rot).
 
 #include <cstdio>
 #include <cstdlib>
 
-namespace mkos::sim::detail {
+#ifdef MKOS_CONTRACTS_THROW
+#include <stdexcept>
+#include <string>
+#endif
+
+namespace mkos::sim {
+
+#ifdef MKOS_CONTRACTS_THROW
+/// Thrown on contract violation in MKOS_CONTRACTS_THROW builds. Derives
+/// from std::logic_error: a violated contract is a programming error.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+#endif
+
+namespace detail {
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr,
                                           const char* file, int line) {
+#ifdef MKOS_CONTRACTS_THROW
+  // Built with append() to dodge GCC 12's -Wrestrict false positive on the
+  // char* + std::string operator+ path.
+  std::string msg("mkos: ");
+  msg.append(kind).append(" violated: ").append(expr).append(" (").append(file);
+  msg.append(":").append(std::to_string(line)).append(")");
+  throw ContractViolation(msg);
+#else
   std::fprintf(stderr, "mkos: %s violated: %s (%s:%d)\n", kind, expr, file, line);
   std::abort();
+#endif
 }
-}  // namespace mkos::sim::detail
+}  // namespace detail
+}  // namespace mkos::sim
 
 #define MKOS_EXPECTS(cond)                                                         \
   ((cond) ? static_cast<void>(0)                                                   \
@@ -29,3 +69,15 @@ namespace mkos::sim::detail {
   ((cond) ? static_cast<void>(0)                                                 \
           : ::mkos::sim::detail::contract_failure("invariant", #cond, __FILE__,  \
                                                   __LINE__))
+
+// Expensive invariant walk: evaluated only when MKOS_AUDIT_ENABLED. The
+// disabled form still type-checks the condition (unevaluated sizeof), so an
+// audit can never bit-rot out of sync with the code it checks.
+#ifdef MKOS_AUDIT_ENABLED
+#define MKOS_AUDIT(cond)                                                     \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::mkos::sim::detail::contract_failure("audit", #cond, __FILE__,  \
+                                                  __LINE__))
+#else
+#define MKOS_AUDIT(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif

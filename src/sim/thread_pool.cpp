@@ -1,10 +1,10 @@
 #include "sim/thread_pool.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 
 #include "sim/contracts.hpp"
+#include "sim/env.hpp"
 
 namespace mkos::sim {
 
@@ -46,10 +46,9 @@ std::uint64_t ThreadPool::completed() const {
 }
 
 int ThreadPool::default_threads() {
-  if (const char* env = std::getenv("MKOS_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
+  // 0 = "unset" sentinel; a literal MKOS_THREADS=0 is rejected as out of range.
+  const int n = env_int("MKOS_THREADS", /*fallback=*/0, /*lo=*/1, /*hi=*/4096);
+  if (n >= 1) return n;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }

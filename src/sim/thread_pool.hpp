@@ -42,7 +42,8 @@ class ThreadPool {
   /// Total tasks completed over the pool's lifetime.
   [[nodiscard]] std::uint64_t completed() const;
 
-  /// `MKOS_THREADS` env var when set (clamped to >= 1), otherwise
+  /// `MKOS_THREADS` env var when set (strictly validated: integer in
+  /// [1, 4096], anything else is a hard error via sim::env_int), otherwise
   /// `std::thread::hardware_concurrency()`.
   [[nodiscard]] static int default_threads();
 

@@ -1,0 +1,20 @@
+// Fixture: a rule violation suppressed by a *justified* allow annotation —
+// both same-line and line-above forms. Must lint clean.
+
+#include <chrono>
+
+namespace mkos::fixtures {
+
+double telemetry_stamp() {
+  const auto t = std::chrono::steady_clock::now();  // mkos-lint: allow(wall-clock) — fixture: host-side telemetry only, never a simulated result
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double telemetry_stamp2() {
+  // mkos-lint: allow(wall-clock) — fixture: the annotation-above form, with a
+  // multi-line justification that still covers the next code line.
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace mkos::fixtures

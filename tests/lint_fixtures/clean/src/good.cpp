@@ -1,0 +1,18 @@
+// Clean fixture source: ordered containers, no clocks, no raw asserts.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace mkos::fixtures {
+
+int sum_ordered(const std::map<int, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) total += v;  // std::map: deterministic order
+  return total;
+}
+
+std::unique_ptr<int> boxed(int v) { return std::make_unique<int>(v); }
+
+}  // namespace mkos::fixtures

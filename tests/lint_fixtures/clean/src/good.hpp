@@ -1,0 +1,16 @@
+#pragma once
+// Clean fixture header: pragma + mkos namespace, contracts, no banned calls.
+// Mentions of std::mt19937 or steady_clock::now() in comments (like these)
+// must NOT be flagged: the linter tokenizes comments away.
+
+#include <cstdint>
+
+namespace mkos::fixtures {
+
+/// "std::rand() inside a string literal is fine too."
+inline const char* motto() { return "never call std::rand() or time(nullptr)"; }
+
+/// Digit separators must not be mistaken for char literals.
+constexpr std::uint64_t kBig = 1'000'000;
+
+}  // namespace mkos::fixtures

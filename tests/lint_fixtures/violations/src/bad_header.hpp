@@ -1,0 +1,9 @@
+// Fixture: header-hygiene — no #pragma once, and declares outside mkos::.
+#ifndef MKOS_FIXTURE_BAD_HEADER
+#define MKOS_FIXTURE_BAD_HEADER
+
+namespace fixtures_wrong_ns {
+inline int one() { return 1; }
+}  // namespace fixtures_wrong_ns
+
+#endif

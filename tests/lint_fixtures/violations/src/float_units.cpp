@@ -1,0 +1,9 @@
+// Fixture: float-arith — float in an accounting path (src/ scope).
+
+namespace mkos::fixtures {
+
+float lossy_bytes_to_gib(long long bytes) {
+  return static_cast<float>(bytes) / (1024.0f * 1024.0f * 1024.0f);
+}
+
+}  // namespace mkos::fixtures

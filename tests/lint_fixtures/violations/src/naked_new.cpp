@@ -1,0 +1,16 @@
+// Fixture: naked-new — manual new/delete outside src/sim/.
+
+namespace mkos::fixtures {
+
+struct Node {
+  int value = 0;
+};
+
+int churn() {
+  Node* n = new Node{42};
+  const int v = n->value;
+  delete n;
+  return v;
+}
+
+}  // namespace mkos::fixtures

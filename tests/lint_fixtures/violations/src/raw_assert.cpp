@@ -1,0 +1,12 @@
+// Fixture: raw-assert — assert() instead of MKOS_* contracts.
+
+#include <cassert>
+
+namespace mkos::fixtures {
+
+int halve(int v) {
+  assert(v % 2 == 0);
+  return v / 2;
+}
+
+}  // namespace mkos::fixtures

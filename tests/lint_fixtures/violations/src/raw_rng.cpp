@@ -1,0 +1,13 @@
+// Fixture: raw-rng — engine construction outside src/sim/rng.*.
+
+#include <cstdlib>
+#include <random>
+
+namespace mkos::fixtures {
+
+int roll() {
+  std::mt19937 gen(std::random_device{}());
+  return static_cast<int>(gen()) + std::rand();
+}
+
+}  // namespace mkos::fixtures

@@ -1,0 +1,9 @@
+// Fixture: unknown-rule — an allow annotation naming a rule that does not
+// exist (typo'd suppressions must not vanish silently).
+
+namespace mkos::fixtures {
+
+// mkos-lint: allow(wall-clok) — typo'd rule id, should be flagged.
+inline int one() { return 1; }
+
+}  // namespace mkos::fixtures

@@ -1,0 +1,15 @@
+// Fixture: unordered-iter — result accumulation in hash-table order.
+
+#include <string>
+#include <unordered_map>
+
+namespace mkos::fixtures {
+
+std::string join_keys(const std::unordered_map<std::string, int>& unused) {
+  std::unordered_map<std::string, int> counts = unused;
+  std::string out;
+  for (const auto& [key, value] : counts) out += key;  // order leaks into out
+  return out;
+}
+
+}  // namespace mkos::fixtures

@@ -1,0 +1,15 @@
+// Fixture: wall-clock — host clock reads outside the telemetry allowlist.
+
+#include <chrono>
+#include <ctime>
+
+namespace mkos::fixtures {
+
+double stamp() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long stamp_c() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace mkos::fixtures

@@ -53,10 +53,20 @@ TEST(ThreadPool, ParallelForPropagatesTheFirstException) {
 TEST(ThreadPool, DefaultThreadsHonorsEnvVar) {
   ASSERT_EQ(setenv("MKOS_THREADS", "3", 1), 0);
   EXPECT_EQ(sim::ThreadPool::default_threads(), 3);
-  ASSERT_EQ(setenv("MKOS_THREADS", "0", 1), 0);  // nonsense falls back to hardware
-  EXPECT_GE(sim::ThreadPool::default_threads(), 1);
   ASSERT_EQ(unsetenv("MKOS_THREADS"), 0);
   EXPECT_GE(sim::ThreadPool::default_threads(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadsRejectsGarbageEnv) {
+  // std::atoi used to map "all" (and "0") to a silent hardware fallback;
+  // sim::env_int makes misconfiguration a hard error instead.
+  ASSERT_EQ(setenv("MKOS_THREADS", "all", 1), 0);
+  EXPECT_EXIT((void)sim::ThreadPool::default_threads(), ::testing::ExitedWithCode(2),
+              "invalid environment");
+  ASSERT_EQ(setenv("MKOS_THREADS", "0", 1), 0);
+  EXPECT_EXIT((void)sim::ThreadPool::default_threads(), ::testing::ExitedWithCode(2),
+              "MKOS_THREADS");
+  ASSERT_EQ(unsetenv("MKOS_THREADS"), 0);
 }
 
 // ------------------------------------------------------------ fingerprints

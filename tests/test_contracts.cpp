@@ -1,0 +1,120 @@
+// Contracts in MKOS_CONTRACTS_THROW mode: violations surface as
+// mkos::sim::ContractViolation so tests assert them with EXPECT_THROW
+// instead of death tests (which fork — slow, and hostile to TSan/ASan).
+// This binary is compiled with MKOS_CONTRACTS_THROW and MKOS_AUDIT_ENABLED;
+// the rest of the suite keeps abort semantics, so the two modes coexist.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/contracts.hpp"
+#include "sim/env.hpp"
+
+namespace {
+
+using mkos::sim::ContractViolation;
+
+int checked_half(int v) {
+  MKOS_EXPECTS(v >= 0);
+  const int half = v / 2;
+  MKOS_ENSURES(half * 2 <= v);
+  return half;
+}
+
+TEST(ContractsThrow, ExpectsThrowsOnViolation) {
+  EXPECT_EQ(checked_half(8), 4);
+  EXPECT_THROW(checked_half(-1), ContractViolation);
+}
+
+TEST(ContractsThrow, MessageNamesKindExpressionAndSite) {
+  try {
+    MKOS_EXPECTS(1 < 0);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 < 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(ContractsThrow, EnsuresAndAssertThrowTheirKinds) {
+  try {
+    MKOS_ENSURES(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+  try {
+    MKOS_ASSERT(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(ContractsThrow, ViolationIsALogicError) {
+  // Catchable as std::logic_error: contract breaks are programming errors.
+  EXPECT_THROW(MKOS_EXPECTS(false), std::logic_error);
+}
+
+// --------------------------------------------------------------- MKOS_AUDIT
+
+TEST(Audit, EnabledAuditChecksFire) {
+  int walks = 0;
+  MKOS_AUDIT([&] {
+    ++walks;
+    return true;
+  }());
+  EXPECT_EQ(walks, 1);  // MKOS_AUDIT_ENABLED: the walk really ran
+  try {
+    MKOS_AUDIT(2 + 2 == 5);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("audit"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------- env_int throw mode
+
+TEST(EnvThrow, GarbageThrowsInsteadOfMappingToZero) {
+  ASSERT_EQ(setenv("MKOS_TEST_THREADS", "all", 1), 0);
+  EXPECT_THROW(mkos::sim::env_int("MKOS_TEST_THREADS", 1, 1, 64),
+               ContractViolation);
+  unsetenv("MKOS_TEST_THREADS");
+}
+
+TEST(EnvThrow, OutOfRangeThrowsWithRangeInMessage) {
+  ASSERT_EQ(setenv("MKOS_TEST_THREADS", "0", 1), 0);
+  try {
+    (void)mkos::sim::env_int("MKOS_TEST_THREADS", 1, 1, 64);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("MKOS_TEST_THREADS"), std::string::npos) << what;
+    EXPECT_NE(what.find("[1, 64]"), std::string::npos) << what;
+  }
+  unsetenv("MKOS_TEST_THREADS");
+}
+
+TEST(EnvThrow, TrailingJunkAndOverflowThrow) {
+  for (const char* bad : {"8x", " 8", "8 ", "0x10", "9999999999999999999999", ""}) {
+    ASSERT_EQ(setenv("MKOS_TEST_THREADS", bad, 1), 0);
+    EXPECT_THROW(mkos::sim::env_int("MKOS_TEST_THREADS", 1, 1, 64),
+                 ContractViolation)
+        << "accepted garbage: '" << bad << "'";
+  }
+  unsetenv("MKOS_TEST_THREADS");
+}
+
+TEST(EnvThrow, ValidAndUnsetStillWork) {
+  unsetenv("MKOS_TEST_THREADS");
+  EXPECT_EQ(mkos::sim::env_int("MKOS_TEST_THREADS", 7, 1, 64), 7);
+  ASSERT_EQ(setenv("MKOS_TEST_THREADS", "32", 1), 0);
+  EXPECT_EQ(mkos::sim::env_int("MKOS_TEST_THREADS", 7, 1, 64), 32);
+  unsetenv("MKOS_TEST_THREADS");
+}
+
+}  // namespace

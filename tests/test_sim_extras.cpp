@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/report.hpp"
 #include "kernel/ikc_queue.hpp"
 #include "kernel/scheduler.hpp"
+#include "sim/env.hpp"
 #include "sim/histogram.hpp"
 #include "sim/rng.hpp"
 
@@ -154,6 +157,44 @@ TEST(Report, CsvEscaping) {
   EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
   EXPECT_NE(csv.find("\"with,comma\",2\n"), std::string::npos);
   EXPECT_NE(csv.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+// --------------------------------------------------- strict integer parsing
+
+TEST(ParseInt, AcceptsStrictBase10Only) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("+7"), 7);
+  EXPECT_EQ(parse_int("9223372036854775807"), 9223372036854775807LL);
+}
+
+TEST(ParseInt, RejectsGarbageAtoiWouldAcceptOrZero) {
+  for (const char* bad : {"", " ", "all", "8x", "x8", " 8", "8 ", "0x10", "1.5",
+                          "--1", "+", "-", "9223372036854775808"}) {
+    EXPECT_FALSE(parse_int(bad).has_value()) << "accepted: '" << bad << "'";
+  }
+}
+
+TEST(EnvInt, UnsetKeepsFallbackAndValidParses) {
+  unsetenv("MKOS_EXTRAS_KNOB");
+  EXPECT_EQ(env_int("MKOS_EXTRAS_KNOB", 11, 1, 64), 11);
+  ASSERT_EQ(setenv("MKOS_EXTRAS_KNOB", "48", 1), 0);
+  EXPECT_EQ(env_int("MKOS_EXTRAS_KNOB", 11, 1, 64), 48);
+  unsetenv("MKOS_EXTRAS_KNOB");
+}
+
+TEST(EnvInt, FallbackMayLieOutsideTheRange) {
+  // 0 as a "use the default" sentinel with a [1, n] validation range.
+  unsetenv("MKOS_EXTRAS_KNOB");
+  EXPECT_EQ(env_int("MKOS_EXTRAS_KNOB", 0, 1, 64), 0);
+}
+
+TEST(EnvInt, GarbageDiesWithClearError) {
+  ASSERT_EQ(setenv("MKOS_EXTRAS_KNOB", "all", 1), 0);
+  EXPECT_EXIT(env_int("MKOS_EXTRAS_KNOB", 1, 1, 64),
+              ::testing::ExitedWithCode(2), "invalid environment");
+  unsetenv("MKOS_EXTRAS_KNOB");
 }
 
 }  // namespace

@@ -1,0 +1,561 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mkos::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Concatenate via append(): sidesteps GCC 12's -Wrestrict false positive
+/// on the operator+(const char*, std::string&&) inline path.
+std::string cat(std::initializer_list<std::string_view> parts) {
+  std::string out;
+  for (const std::string_view p : parts) out.append(p);
+  return out;
+}
+
+/// Find `word` in `text` as a whole identifier (not a substring of a longer
+/// identifier). Returns npos when absent.
+std::size_t find_ident(std::string_view text, std::string_view word,
+                       std::size_t from = 0) {
+  while (from < text.size()) {
+    const std::size_t pos = text.find(word, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+/// First non-space character strictly after `pos + len`, or '\0'.
+char next_sig_char(std::string_view text, std::size_t after) {
+  for (std::size_t i = after; i < text.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) return text[i];
+  }
+  return '\0';
+}
+
+/// Last non-space character strictly before `pos`, or '\0'.
+char prev_sig_char(std::string_view text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) return text[pos];
+  }
+  return '\0';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_header(std::string_view rel) {
+  return ends_with(rel, ".hpp") || ends_with(rel, ".h") || ends_with(rel, ".hh");
+}
+
+// --- Path-based rule scoping (relative to the scan root) -------------------
+
+bool rng_exempt(std::string_view rel) { return starts_with(rel, "src/sim/rng."); }
+
+bool clock_allowlisted(std::string_view rel) {
+  return rel == "src/core/campaign.cpp" || starts_with(rel, "src/sim/thread_pool.");
+}
+
+bool naked_new_allowed(std::string_view rel) { return starts_with(rel, "src/sim/"); }
+
+bool float_scoped(std::string_view rel) { return starts_with(rel, "src/"); }
+
+// --- Allow annotations -----------------------------------------------------
+
+struct Allow {
+  std::string rule;
+  bool has_reason = false;
+};
+
+/// Parse every `mkos-lint:  allow(<rule>)[ — <reason>]` (with a single
+/// space after the colon; doubled here to avoid self-parsing) in a comment.
+std::vector<Allow> parse_allows(std::string_view comment) {
+  std::vector<Allow> allows;
+  static constexpr std::string_view kMarker = "mkos-lint: allow(";
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t pos = comment.find(kMarker, from);
+    if (pos == std::string_view::npos) break;
+    const std::size_t name_begin = pos + kMarker.size();
+    const std::size_t name_end = comment.find(')', name_begin);
+    if (name_end == std::string_view::npos) break;
+    Allow allow;
+    allow.rule = std::string(comment.substr(name_begin, name_end - name_begin));
+    // A justification is a dash (hyphen, en or em) after the ')' followed by
+    // at least three non-space characters of prose.
+    std::string_view rest = comment.substr(name_end + 1);
+    const std::size_t dash = rest.find_first_of('-') != std::string_view::npos
+                                 ? rest.find_first_of('-')
+                                 : rest.find("\xE2\x80");  // U+2013/U+2014 lead bytes
+    if (dash != std::string_view::npos) {
+      std::string_view reason = rest.substr(dash);
+      // Skip the dash itself (1 byte for '-', 3 for UTF-8 en/em dash).
+      reason.remove_prefix(reason[0] == '-' ? 1 : 3);
+      int prose = 0;
+      for (const char c : reason) {
+        if (!std::isspace(static_cast<unsigned char>(c))) ++prose;
+      }
+      allow.has_reason = prose >= 3;
+    }
+    allows.push_back(std::move(allow));
+    from = name_end;
+  }
+  return allows;
+}
+
+// --- Per-rule scanners -----------------------------------------------------
+
+constexpr std::string_view kRngIdents[] = {
+    "rand",         "srand",         "random_device",        "mt19937",
+    "mt19937_64",   "minstd_rand",   "minstd_rand0",         "ranlux24",
+    "ranlux48",     "knuth_b",       "default_random_engine"};
+
+constexpr std::string_view kClockCalls[] = {"time", "clock", "gettimeofday",
+                                            "clock_gettime", "timespec_get"};
+
+struct FileScan {
+  const std::string& rel;
+  const std::vector<CleanLine>& lines;
+  std::vector<Violation>& out;
+
+  void add(int line, std::string_view rule, std::string message) const {
+    out.push_back(Violation{rel, line, std::string(rule), std::move(message)});
+  }
+};
+
+void scan_raw_rng(const FileScan& f) {
+  if (rng_exempt(f.rel)) return;
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const CleanLine& ln = f.lines[i];
+    if (ln.preprocessor) continue;
+    for (const std::string_view ident : kRngIdents) {
+      if (find_ident(ln.code, ident) != std::string_view::npos) {
+        f.add(static_cast<int>(i + 1), "raw-rng",
+              cat({"'", ident,
+                   "' bypasses positional seeding; draw from sim::Rng "
+                   "(src/sim/rng.hpp) instead"}));
+      }
+    }
+  }
+}
+
+void scan_wall_clock(const FileScan& f) {
+  if (clock_allowlisted(f.rel)) return;
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const CleanLine& ln = f.lines[i];
+    if (ln.preprocessor) continue;
+    // Any `::now(` — catches steady/system/high_resolution_clock and aliases.
+    std::size_t pos = 0;
+    while ((pos = find_ident(ln.code, "now", pos)) != std::string_view::npos) {
+      if (prev_sig_char(ln.code, pos) == ':' &&
+          next_sig_char(ln.code, pos + 3) == '(') {
+        f.add(static_cast<int>(i + 1), "wall-clock",
+              "host clock read ('::now()') outside the telemetry allowlist; "
+              "simulated results must use sim::TimeNs");
+        break;
+      }
+      pos += 3;
+    }
+    // C-style clock calls: free function invocation, not a member/macro.
+    for (const std::string_view ident : kClockCalls) {
+      const std::size_t cpos = find_ident(ln.code, ident);
+      if (cpos == std::string_view::npos) continue;
+      const char prev = prev_sig_char(ln.code, cpos);
+      if (prev == '.' || prev == '>') continue;  // member access
+      if (next_sig_char(ln.code, cpos + ident.size()) != '(') continue;
+      f.add(static_cast<int>(i + 1), "wall-clock",
+            cat({"'", ident,
+                 "()' reads the host clock outside the telemetry allowlist"}));
+    }
+  }
+}
+
+void scan_unordered_iter(const FileScan& f) {
+  // Pass 1: names declared (in this file) with an unordered container type.
+  std::set<std::string> names;
+  for (const CleanLine& ln : f.lines) {
+    if (ln.preprocessor) continue;
+    for (const std::string_view type : {"unordered_map", "unordered_set"}) {
+      std::size_t pos = find_ident(ln.code, type);
+      if (pos == std::string_view::npos) continue;
+      pos += type.size();
+      // Skip the template argument list (same-line heuristic).
+      if (next_sig_char(ln.code, pos) != '<') continue;
+      int depth = 0;
+      while (pos < ln.code.size()) {
+        if (ln.code[pos] == '<') ++depth;
+        if (ln.code[pos] == '>' && --depth == 0) break;
+        ++pos;
+      }
+      if (depth != 0) continue;  // args span lines; declaration name unknowable
+      // The declared name is the next identifier (skipping &, *, spaces).
+      ++pos;
+      while (pos < ln.code.size() && !ident_char(ln.code[pos])) {
+        if (ln.code[pos] == ';' || ln.code[pos] == '(' || ln.code[pos] == ')') break;
+        ++pos;
+      }
+      std::size_t end = pos;
+      while (end < ln.code.size() && ident_char(ln.code[end])) ++end;
+      if (end > pos) names.insert(std::string(ln.code.substr(pos, end - pos)));
+    }
+  }
+  if (names.empty()) return;
+  // Pass 2: for-loops ranging over (or iterating from) such a name.
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const CleanLine& ln = f.lines[i];
+    if (ln.preprocessor) continue;
+    if (find_ident(ln.code, "for") == std::string_view::npos) continue;
+    for (const std::string& name : names) {
+      const std::size_t pos = find_ident(ln.code, name);
+      if (pos == std::string_view::npos) continue;
+      const bool ranged = prev_sig_char(ln.code, pos) == ':';
+      const bool from_begin =
+          ln.code.find(name + ".begin", pos) == pos ||
+          ln.code.find(name + ".cbegin", pos) == pos;
+      if (ranged || from_begin) {
+        f.add(static_cast<int>(i + 1), "unordered-iter",
+              cat({"iterating '", name,
+                   "' (unordered container): traversal order is "
+                   "implementation-defined and leaks into results; iterate a "
+                   "sorted view or use std::map"}));
+      }
+    }
+  }
+}
+
+void scan_raw_assert(const FileScan& f) {
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const CleanLine& ln = f.lines[i];
+    if (ln.preprocessor) continue;
+    const std::size_t pos = find_ident(ln.code, "assert");
+    if (pos == std::string_view::npos) continue;
+    if (next_sig_char(ln.code, pos + 6) != '(') continue;
+    f.add(static_cast<int>(i + 1), "raw-assert",
+          "assert() compiles out under NDEBUG and aborts without throw-mode "
+          "support; use MKOS_EXPECTS/MKOS_ENSURES/MKOS_ASSERT "
+          "(src/sim/contracts.hpp)");
+  }
+}
+
+void scan_naked_new(const FileScan& f) {
+  if (naked_new_allowed(f.rel)) return;
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const CleanLine& ln = f.lines[i];
+    if (ln.preprocessor) continue;
+    if (find_ident(ln.code, "new") != std::string_view::npos) {
+      f.add(static_cast<int>(i + 1), "naked-new",
+            "naked 'new' outside src/sim/; use std::make_unique or a "
+            "container");
+    }
+    const std::size_t dpos = find_ident(ln.code, "delete");
+    if (dpos != std::string_view::npos &&
+        prev_sig_char(ln.code, dpos) != '=') {  // `= delete` declarations are fine
+      f.add(static_cast<int>(i + 1), "naked-new",
+            "naked 'delete' outside src/sim/; let an owner's destructor "
+            "release it");
+    }
+  }
+}
+
+void scan_header_hygiene(const FileScan& f) {
+  if (!is_header(f.rel)) return;
+  bool pragma_first = false;
+  for (const CleanLine& ln : f.lines) {
+    const std::string_view code(ln.code);
+    const std::size_t sig = code.find_first_not_of(" \t");
+    if (sig == std::string_view::npos) continue;  // blank / comment-only line
+    pragma_first = code.find("#pragma once", sig) == sig;
+    break;
+  }
+  if (!pragma_first) {
+    f.add(1, "header-hygiene",
+          "header must open with '#pragma once' (before any code)");
+  }
+  bool has_namespace = false;
+  for (const CleanLine& ln : f.lines) {
+    const std::size_t pos = find_ident(ln.code, "namespace");
+    if (pos == std::string_view::npos) continue;
+    std::string_view rest = ln.code;
+    rest.remove_prefix(pos + 9);
+    const std::size_t name = rest.find_first_not_of(" \t");
+    if (name != std::string_view::npos &&
+        find_ident(rest.substr(name), "mkos") == 0) {
+      has_namespace = true;
+      break;
+    }
+  }
+  if (!has_namespace) {
+    f.add(1, "header-hygiene",
+          "header must declare into the mkos:: namespace");
+  }
+}
+
+void scan_float_arith(const FileScan& f) {
+  if (!float_scoped(f.rel)) return;
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const CleanLine& ln = f.lines[i];
+    if (ln.preprocessor) continue;
+    if (find_ident(ln.code, "float") != std::string_view::npos) {
+      f.add(static_cast<int>(i + 1), "float-arith",
+            "'float' in an accounting/units path; simulator arithmetic is "
+            "double-only (float truncation varies with optimization level)");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CleanLine> tokenize(std::string_view content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  std::vector<CleanLine> lines;
+  CleanLine current;
+  State state = State::kCode;
+  bool in_directive = false;   // inside a preprocessor directive (incl. continuations)
+  bool line_has_code = false;  // saw non-space code on this physical line
+  std::string raw_delim;       // for R"delim( ... )delim"
+
+  const auto flush_line = [&](bool continues_directive) {
+    current.preprocessor = in_directive;
+    lines.push_back(std::move(current));
+    current = CleanLine{};
+    line_has_code = false;
+    in_directive = continues_directive && in_directive;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      const bool continues =
+          state == State::kCode && !current.code.empty() && current.code.back() == '\\';
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line(continues);
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string; plain " a normal one.
+          if (!current.code.empty() && current.code.back() == 'R' &&
+              (current.code.size() < 2 || !ident_char(current.code[current.code.size() - 2]))) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < content.size() && content[j] != '(') raw_delim += content[j++];
+            i = j;  // at '('
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          current.code += '"';
+        } else if (c == '\'' && !(line_has_code && !current.code.empty() &&
+                                  ident_char(current.code.back()))) {
+          // A ' after an identifier/number char is a digit separator (1'000).
+          state = State::kChar;
+          current.code += '\'';
+        } else {
+          if (!line_has_code && c == '#') in_directive = true;
+          if (!std::isspace(static_cast<unsigned char>(c))) line_has_code = true;
+          current.code += c;
+        }
+        break;
+      case State::kLineComment:
+        current.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          state = State::kCode;
+          current.code += '"';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          current.code += '\'';
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && content.substr(i + 1, raw_delim.size()) == raw_delim &&
+            content.substr(i + 1 + raw_delim.size(), 1) == "\"") {
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+          current.code += '"';
+        }
+        break;
+    }
+  }
+  if (!current.code.empty() || !current.comment.empty()) flush_line(false);
+  return lines;
+}
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "raw-rng",       "wall-clock",     "unordered-iter",
+      "raw-assert",    "naked-new",      "header-hygiene",
+      "float-arith",   "allow-no-reason", "unknown-rule"};
+  return kIds;
+}
+
+std::string to_string(const Violation& v) {
+  std::ostringstream os;
+  os << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
+  return os.str();
+}
+
+std::vector<Violation> lint_file(const std::string& rel_path,
+                                 std::string_view content) {
+  const std::vector<CleanLine> lines = tokenize(content);
+  std::vector<Violation> raw;
+  const FileScan scan{rel_path, lines, raw};
+  scan_raw_rng(scan);
+  scan_wall_clock(scan);
+  scan_unordered_iter(scan);
+  scan_raw_assert(scan);
+  scan_naked_new(scan);
+  scan_header_hygiene(scan);
+  scan_float_arith(scan);
+
+  // Collect annotations: an allow on line N suppresses rule hits on N and,
+  // when the annotation is on a comment-only line, on N+1.
+  std::map<std::pair<int, std::string>, bool> allowed;  // (line, rule) -> justified
+  std::vector<Violation> annotation_issues;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const Allow& allow : parse_allows(lines[i].comment)) {
+      const int line = static_cast<int>(i + 1);
+      const bool known = std::find(rule_ids().begin(), rule_ids().end(),
+                                   allow.rule) != rule_ids().end();
+      if (!known) {
+        annotation_issues.push_back(Violation{
+            rel_path, line, "unknown-rule",
+            cat({"allow annotation names unknown rule '", allow.rule, "'"})});
+        continue;
+      }
+      if (!allow.has_reason) {
+        annotation_issues.push_back(Violation{
+            rel_path, line, "allow-no-reason",
+            cat({"allow(", allow.rule,
+                 ") has no written justification; append '— <reason>'"})});
+        continue;  // an unjustified allow does not suppress
+      }
+      allowed[{line, allow.rule}] = true;
+      // An annotation on a comment-only line covers the next code line,
+      // skipping the rest of its own (possibly multi-line) comment.
+      if (lines[i].code.find_first_not_of(" \t") == std::string::npos) {
+        for (std::size_t j = i + 1; j < lines.size(); ++j) {
+          if (lines[j].code.find_first_not_of(" \t") == std::string::npos) continue;
+          allowed[{static_cast<int>(j + 1), allow.rule}] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Violation> out;
+  for (Violation& v : raw) {
+    if (allowed.count({v.line, v.rule}) != 0) continue;
+    out.push_back(std::move(v));
+  }
+  for (Violation& v : annotation_issues) out.push_back(std::move(v));
+  std::stable_sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<std::string> collect_sources(const std::string& root,
+                                         const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  const auto lintable = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+           ext == ".hh";
+  };
+  const auto skipped_dir = [](const fs::path& p) {
+    const std::string name = p.filename().string();
+    return name == "build" || name == "lint_fixtures" ||
+           (name.size() > 1 && name[0] == '.');
+  };
+  std::vector<std::string> out;
+  const fs::path base(root);
+  for (const std::string& rel : paths) {
+    const fs::path p = base / rel;
+    if (fs::is_regular_file(p)) {
+      out.push_back(fs::path(rel).generic_string());
+      continue;
+    }
+    if (!fs::is_directory(p)) continue;
+    fs::recursive_directory_iterator it(p), end;
+    for (; it != end; ++it) {
+      if (it->is_directory() && skipped_dir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable(it->path())) {
+        out.push_back(fs::relative(it->path(), base).generic_string());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Violation> lint_paths(const std::string& root,
+                                  const std::vector<std::string>& rel_paths) {
+  std::vector<Violation> out;
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(std::filesystem::path(root) / rel, std::ios::binary);
+    if (!in) {
+      out.push_back(Violation{rel, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    std::vector<Violation> file_violations = lint_file(rel, content);
+    out.insert(out.end(), std::make_move_iterator(file_violations.begin()),
+               std::make_move_iterator(file_violations.end()));
+  }
+  return out;
+}
+
+}  // namespace mkos::lint

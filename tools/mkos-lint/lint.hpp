@@ -1,0 +1,92 @@
+#pragma once
+// mkos-lint — determinism / kernel-invariant static analysis for the tree.
+//
+// The simulator's headline numbers rest on bit-reproducible measurement:
+// serial and parallel campaigns must be bit-identical at any thread count.
+// That property is kept true by coding rules (all randomness through
+// sim/rng positional seeds, no wall-clock in result paths, no
+// iteration-order-dependent accumulation, contracts instead of assert) that
+// nothing in the compiler enforces. mkos-lint tokenizes every source file —
+// comments and string literals stripped, so documentation never
+// false-positives — and enforces the rules below. Violations can be
+// suppressed per line with a justified annotation:
+//
+//   // mkos-lint:  allow(<rule>) — <reason>
+//
+// (single space after the colon; doubled here only so this very file does
+// not parse as an annotation) on the offending line or the line directly
+// above it. An annotation
+// without a reason is itself a violation, so every suppression in the tree
+// carries a written justification.
+//
+// Rules (ids as reported):
+//   raw-rng          std::rand / random_device / mt19937 etc. outside
+//                    src/sim/rng.* — use sim::Rng positional streams.
+//   wall-clock       *_clock::now(), time(), clock_gettime() etc. outside
+//                    the telemetry allowlist (src/core/campaign.cpp,
+//                    src/sim/thread_pool.*) — use sim::TimeNs.
+//   unordered-iter   iteration over a std::unordered_map/unordered_set
+//                    declared in the same file — order is
+//                    implementation-defined and leaks into results.
+//   raw-assert       assert() — use MKOS_EXPECTS/ENSURES/ASSERT so the
+//                    check survives NDEBUG and respects throw mode.
+//   naked-new        new/delete outside src/sim/ — use RAII owners.
+//   header-hygiene   every header starts with #pragma once and declares
+//                    into the mkos:: namespace.
+//   float-arith      `float` under src/ — accounting/units paths are
+//                    double-only (float truncation is a reproducibility
+//                    hazard across optimization levels).
+//   allow-no-reason  an allow annotation missing its justification.
+//   unknown-rule     an allow annotation naming a rule that doesn't exist.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mkos::lint {
+
+struct Violation {
+  std::string file;  ///< path as passed in (relative to the scan root)
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// One physical source line after tokenization: executable text with
+/// comments / string literals / char literals blanked, plus the comment
+/// text (for annotation parsing).
+struct CleanLine {
+  std::string code;
+  std::string comment;
+  bool preprocessor = false;  ///< starts with '#' or continues a directive
+};
+
+/// Strip comments and literals. Handles //, /**/, "..." (with escapes),
+/// '...' (digit separators in numerals are not treated as char literals),
+/// and R"delim(...)delim" raw strings.
+[[nodiscard]] std::vector<CleanLine> tokenize(std::string_view content);
+
+/// Lint one file's content. `rel_path` (forward slashes, relative to the
+/// scan root) drives path-based rule scoping.
+[[nodiscard]] std::vector<Violation> lint_file(const std::string& rel_path,
+                                               std::string_view content);
+
+/// All rule ids, for --list-rules and annotation validation.
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Render a violation as "path:line: [rule] message".
+[[nodiscard]] std::string to_string(const Violation& v);
+
+/// Recursively collect lintable sources (.cpp/.hpp/.h/.cc/.hh) under
+/// `root`/`paths`, skipping build trees, hidden directories, and
+/// tests/lint_fixtures (whose files violate rules on purpose). Returned
+/// paths are relative to root and sorted, so reports are deterministic.
+[[nodiscard]] std::vector<std::string> collect_sources(
+    const std::string& root, const std::vector<std::string>& paths);
+
+/// Read + lint every file in `rel_paths` (resolved against `root`).
+[[nodiscard]] std::vector<Violation> lint_paths(
+    const std::string& root, const std::vector<std::string>& rel_paths);
+
+}  // namespace mkos::lint

@@ -1,0 +1,61 @@
+// mkos-lint CLI.
+//
+//   mkos-lint [--root <dir>] [--list-rules] <path>...
+//
+// Paths (files or directories) are resolved against --root (default: the
+// current directory) and the path *relative to the root* decides rule
+// scoping — e.g. the wall-clock telemetry allowlist matches
+// "src/core/campaign.cpp" relative to the root. Exit status: 0 clean,
+// 1 violations found, 2 usage/IO error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mkos-lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& id : mkos::lint::rule_ids()) {
+        std::printf("%s\n", id.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mkos-lint [--root <dir>] [--list-rules] <path>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mkos-lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: mkos-lint [--root <dir>] [--list-rules] <path>...\n");
+    return 2;
+  }
+
+  const std::vector<std::string> files = mkos::lint::collect_sources(root, paths);
+  if (files.empty()) {
+    std::fprintf(stderr, "mkos-lint: no lintable sources under the given paths\n");
+    return 2;
+  }
+  const std::vector<mkos::lint::Violation> violations =
+      mkos::lint::lint_paths(root, files);
+  for (const mkos::lint::Violation& v : violations) {
+    std::printf("%s\n", mkos::lint::to_string(v).c_str());
+  }
+  std::fprintf(stderr, "mkos-lint: %zu file(s), %zu violation(s)\n", files.size(),
+               violations.size());
+  return violations.empty() ? 0 : 1;
+}
