@@ -9,7 +9,9 @@
 #include <cstdio>
 
 #include "core/config.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
+#include "obs/snapshots.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/simmpi.hpp"
 
@@ -18,14 +20,21 @@ namespace {
 using namespace mkos;
 using runtime::AllreduceAlgo;
 
-double allreduce_us(kernel::OsKind os, int nodes, sim::Bytes bytes, AllreduceAlgo algo) {
+double allreduce_us(kernel::OsKind os, int nodes, sim::Bytes bytes, AllreduceAlgo algo,
+                    obs::RunLedger& ledger) {
   const auto machine = core::SystemConfig::for_os(os).machine(nodes);
   runtime::Job job{machine, runtime::JobSpec{nodes, 64, 1}, 1};
   runtime::MpiWorld world{job, 99};
   world.collective_model().algo = algo;
   constexpr int kReps = 40;
   for (int i = 0; i < kReps; ++i) world.allreduce(bytes);
-  return world.finish().us() / kReps;
+  const double us = world.finish().us() / kReps;
+  obs::record_world(ledger, world);
+  const std::string series = std::string(kernel::to_string(os)) + "." +
+                             std::string(runtime::to_string(algo)) + ".n" +
+                             std::to_string(nodes) + "." + sim::bytes_to_string(bytes);
+  ledger.set_gauge("allreduce_us." + series, us);
+  return us;
 }
 
 }  // namespace
@@ -33,6 +42,9 @@ double allreduce_us(kernel::OsKind os, int nodes, sim::Bytes bytes, AllreduceAlg
 int main() {
   core::print_banner("Ablation — allreduce algorithms x OS noise",
                      "collective synchronization is the noise coupling point");
+
+  obs::RunLedger ledger = core::bench_ledger(
+      "ablation_collectives", "MiniFE Fig. 5b mechanism: stage-count x noise", 99);
 
   const AllreduceAlgo algos[] = {AllreduceAlgo::kRecursiveDoubling,
                                  AllreduceAlgo::kRabenseifner, AllreduceAlgo::kRing,
@@ -42,10 +54,11 @@ int main() {
     core::Table t{{std::string("payload ") + sim::bytes_to_string(bytes),
                    "McKernel 64n us", "McKernel 1024n us", "Linux 1024n us"}};
     for (const auto algo : algos) {
-      t.add_row({std::string(to_string(algo)),
-                 core::fmt(allreduce_us(kernel::OsKind::kMcKernel, 64, bytes, algo), 1),
-                 core::fmt(allreduce_us(kernel::OsKind::kMcKernel, 1024, bytes, algo), 1),
-                 core::fmt(allreduce_us(kernel::OsKind::kLinux, 1024, bytes, algo), 1)});
+      t.add_row(
+          {std::string(to_string(algo)),
+           core::fmt(allreduce_us(kernel::OsKind::kMcKernel, 64, bytes, algo, ledger), 1),
+           core::fmt(allreduce_us(kernel::OsKind::kMcKernel, 1024, bytes, algo, ledger), 1),
+           core::fmt(allreduce_us(kernel::OsKind::kLinux, 1024, bytes, algo, ledger), 1)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -53,5 +66,7 @@ int main() {
               std::string(to_string(runtime::allreduce_pick({64, 64, 8}))).c_str(),
               std::string(to_string(runtime::allreduce_pick({64, 64, 4 * sim::MiB}))).c_str(),
               std::string(to_string(runtime::allreduce_pick({1024, 64, 4 * sim::MiB}))).c_str());
+
+  core::emit(ledger);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 #include "runtime/simmpi.hpp"
 
@@ -37,6 +38,9 @@ int main() {
   core::print_banner("Ablation — noise tails vs collective collapse (D5)",
                      "DESIGN.md Section 6; the Fig. 5b mechanism swept");
 
+  obs::RunLedger ledger =
+      core::bench_ledger("ablation_noise", "DESIGN.md Section 6 (D5)", 61);
+
   // Sweep the heavy-tail rate: where does a 200 us window double?
   core::Table t{{"tail rate (1/s/core)", "64 nodes us", "512 nodes us", "2048 nodes us"}};
   for (double rate : {0.0, 0.005, 0.02, 0.05, 0.15}) {
@@ -46,8 +50,15 @@ int main() {
                                    kernel::NoiseComponent::Dist::kPareto, 1.35,
                                    sim::milliseconds(24)});
     }
-    t.add_row({core::fmt(rate, 3), core::fmt(loop_time_us(m, 64), 1),
-               core::fmt(loop_time_us(m, 512), 1), core::fmt(loop_time_us(m, 2048), 1)});
+    const double us64 = loop_time_us(m, 64);
+    const double us512 = loop_time_us(m, 512);
+    const double us2048 = loop_time_us(m, 2048);
+    t.add_row({core::fmt(rate, 3), core::fmt(us64, 1), core::fmt(us512, 1),
+               core::fmt(us2048, 1)});
+    const std::string key = "window_us.rate_" + core::fmt(rate, 3);
+    ledger.set_gauge(key + ".n64", us64);
+    ledger.set_gauge(key + ".n512", us512);
+    ledger.set_gauge(key + ".n2048", us2048);
   }
   std::printf("%s\n", t.to_string().c_str());
 
@@ -56,13 +67,23 @@ int main() {
   auto app = workloads::make_minife();
   core::SystemConfig noisy = core::SystemConfig::linux_default();
   noisy.linux_nohz_full = false;
-  const double lwk = core::run_app(*app, core::SystemConfig::mckernel(), 256, 3, 61).median();
-  const double lin = core::run_app(*app, core::SystemConfig::linux_default(), 256, 3, 61).median();
-  const double bad = core::run_app(*app, noisy, 256, 3, 61).median();
+  const core::RunStats lwk_rs =
+      core::run_app(*app, core::SystemConfig::mckernel(), 256, 3, 61);
+  const core::RunStats lin_rs =
+      core::run_app(*app, core::SystemConfig::linux_default(), 256, 3, 61);
+  const core::RunStats bad_rs = core::run_app(*app, noisy, 256, 3, 61);
+  core::record_run_stats(ledger, "minife.mckernel.n256", lwk_rs);
+  core::record_run_stats(ledger, "minife.linux_nohz.n256", lin_rs);
+  core::record_run_stats(ledger, "minife.linux_untuned.n256", bad_rs);
+  const double lwk = lwk_rs.median();
+  const double lin = lin_rs.median();
+  const double bad = bad_rs.median();
   core::Table t2{{"MiniFE @256 nodes", "Mflops", "vs McKernel"}};
   t2.add_row({"McKernel", core::fmt_sci(lwk), "100.0%"});
   t2.add_row({"Linux nohz_full", core::fmt_sci(lin), core::fmt_pct(lin / lwk)});
   t2.add_row({"Linux untuned", core::fmt_sci(bad), core::fmt_pct(bad / lwk)});
   std::printf("%s\n", t2.to_string().c_str());
+
+  core::emit(ledger);
   return 0;
 }

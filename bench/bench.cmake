@@ -12,7 +12,9 @@ endfunction()
 
 function(mkos_add_gbench name)
   mkos_add_bench(${name})
-  target_link_libraries(${name} PRIVATE benchmark::benchmark benchmark::benchmark_main)
+  # No benchmark_main: micro_substrates carries its own main so it can
+  # emit a BENCH_*.json run ledger after the timing loops.
+  target_link_libraries(${name} PRIVATE benchmark::benchmark)
 endfunction()
 
 mkos_add_bench(fig4_overview)

@@ -5,15 +5,21 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 
 namespace {
 
 using mkos::core::SystemConfig;
 
-double hpcg_median(const SystemConfig& config) {
+double hpcg_median(const SystemConfig& config, mkos::obs::RunLedger& ledger,
+                   const std::string& series) {
   auto app = mkos::workloads::make_hpcg();
-  return mkos::core::run_app(*app, config, /*nodes=*/32, /*reps=*/5, /*seed=*/41).median();
+  const mkos::core::RunStats rs =
+      mkos::core::run_app(*app, config, /*nodes=*/32, /*reps=*/5, /*seed=*/41);
+  mkos::core::record_config(ledger, config, series);
+  mkos::core::record_run_stats(ledger, series, rs);
+  return rs.median();
 }
 
 }  // namespace
@@ -26,28 +32,34 @@ int main() {
 
   core::Table table{{"configuration", "app cores", "GFLOP/s", "vs Linux 68c"}};
 
+  obs::RunLedger ledger =
+      core::bench_ledger("core_partitioning", "IPDPS'18 Section III-A", 41);
+
   // Linux using all 68 cores: more compute, but application ranks share the
   // cores running system services.
   SystemConfig linux68 = SystemConfig::linux_default();
   linux68.app_cores = 68;
   linux68.service_cores = 0;
-  const double base = hpcg_median(linux68);
+  const double base = hpcg_median(linux68, ledger, "hpcg.linux_68c");
   table.add_row({"Linux, all cores", "68", core::fmt(base, 1), "100.0%"});
 
   SystemConfig linux64 = SystemConfig::linux_default();
-  const double l64 = hpcg_median(linux64);
+  const double l64 = hpcg_median(linux64, ledger, "hpcg.linux_64c");
   table.add_row({"Linux, 4 reserved", "64", core::fmt(l64, 1), core::fmt_pct(l64 / base)});
 
   for (int cores : {64, 66}) {
     SystemConfig mos = SystemConfig::mos();
     mos.app_cores = cores;
     mos.service_cores = 68 - cores;
-    const double v = hpcg_median(mos);
+    const double v =
+        hpcg_median(mos, ledger, "hpcg.mos_" + std::to_string(cores) + "c");
     table.add_row({"mOS", std::to_string(cores), core::fmt(v, 1),
                    core::fmt_pct(v / base)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("expected ordering: mOS 64c and 66c above Linux 68c — reserving cores\n"
               "for the OS buys back more than the lost compute at scale.\n");
+
+  core::emit(ledger);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "core/campaign.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 #include "hw/knl.hpp"
 #include "kernel/node.hpp"
@@ -50,6 +51,8 @@ int main() {
   core::CellCache cache;
   core::Campaign campaign(pool, cache);
 
+  obs::RunLedger ledger = core::bench_ledger("design_space", "Fig. 1 quantified", 81);
+
   core::Table table{{"workload", "Linux", "McKernel", "mOS", "FusedOS"}};
   for (const Row& row : rows) {
     core::CampaignSpec spec;
@@ -62,6 +65,13 @@ int main() {
     spec.reps = 5;
     spec.seed = 81;
     const auto cells = campaign.run(spec);
+    for (const core::CellResult& cell : cells) {
+      if (cell.from_cache) continue;  // a repeated cell was already merged
+      core::record_run_stats(
+          ledger, std::string(row.app) + "." + cell.config_label + ".n" +
+                      std::to_string(cell.nodes),
+          cell.stats);
+    }
     const double lin = cells[0].stats.median();
     table.add_row({row.label, "100.0%", core::fmt_pct(cells[1].stats.median() / lin),
                    core::fmt_pct(cells[2].stats.median() / lin),
@@ -86,8 +96,12 @@ int main() {
                          kernel::Sys::kSchedYield, kernel::Sys::kOpen,
                          kernel::Sys::kWrite}) {
     std::vector<std::string> row{std::string(kernel::sys_name(sys))};
-    for (kernel::Kernel* k : kernels) {
-      row.push_back(std::to_string(k->priced(sys).ns()));
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      const sim::TimeNs cost = kernels[ki]->priced(sys);
+      ledger.set_gauge("syscall_ns." + std::string(kernels[ki]->name()) + "." +
+                           std::string(kernel::sys_name(sys)),
+                       static_cast<double>(cost.ns()));
+      row.push_back(std::to_string(cost.ns()));
     }
     lat.add_row(std::move(row));
   }
@@ -97,5 +111,8 @@ int main() {
       "on every call — brk/mmap/futex run at offload latency. The multi-\n"
       "kernels close that gap by implementing the performance-sensitive calls\n"
       "inside the LWK and offloading only the compatibility surface.\n");
+
+  core::record_campaign(ledger, campaign.telemetry(), sim::ThreadPool::default_threads());
+  core::emit(ledger);
   return 0;
 }

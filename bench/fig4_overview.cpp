@@ -10,7 +10,8 @@
 // McKernel and the mOS comparison — are simulated once and served from the
 // cell cache afterwards. A 1-thread cold-cache reference run measures the
 // serial wall clock; results are bit-identical by construction (positional
-// seeds), and the speedup + cache telemetry land in BENCH_campaign.json.
+// seeds), and the full run ledger lands in BENCH_fig4_overview.json —
+// identical modulo the host block for any MKOS_THREADS value.
 //
 //   MKOS_FIG4_MAX_NODES / MKOS_FIG4_REPS env vars shrink the sweep for
 //   quick runs; defaults reproduce the full figure. MKOS_THREADS sets the
@@ -22,6 +23,7 @@
 #include <map>
 
 #include "core/campaign.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 #include "sim/env.hpp"
 
@@ -135,22 +137,28 @@ int main() {
                 serial_s, parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
   }
 
-  core::JsonObject json;
-  json.text("bench", "fig4_campaign")
-      .integer("threads", threads)
-      .integer("reps", reps)
-      .integer("max_nodes", max_nodes)
-      .integer("cells", static_cast<std::int64_t>(t.cells))
-      .integer("cache_hits", static_cast<std::int64_t>(t.cache_hits))
-      .number("cache_hit_rate", t.hit_rate())
-      .number("wall_s_parallel", parallel_s)
-      .number("cells_per_s", t.cells_per_second())
-      .number("wall_s_serial", serial_s)
-      .number("speedup", serial_s > 0.0 && parallel_s > 0.0 ? serial_s / parallel_s : 0.0)
-      .number("headline_median_ratio", h.median_ratio)
-      .number("headline_best_ratio", h.best_ratio);
-  if (!core::write_text_file("BENCH_campaign.json", json.to_string())) {
-    std::fprintf(stderr, "warning: could not write BENCH_campaign.json\n");
+  obs::RunLedger ledger = core::bench_ledger(
+      "fig4_overview", "IPDPS'18 10.1109/IPDPS.2018.00022, Figure 4", 42);
+  ledger.set_meta("reps", std::to_string(reps));
+  ledger.set_meta("max_nodes", std::to_string(max_nodes));
+  core::record_config(ledger, SystemConfig::linux_default());
+  core::record_config(ledger, SystemConfig::mckernel());
+  core::record_config(ledger, SystemConfig::mos());
+  // Cells come back in deterministic grid order; merging their per-rep
+  // ledgers in that order keeps the document thread-count independent.
+  for (const core::CellResult& cell : cells) {
+    if (cell.from_cache && cell.config_label == "Linux") continue;  // phase-2 dups
+    core::record_run_stats(
+        ledger, cell.app + "." + cell.config_label + ".n" + std::to_string(cell.nodes),
+        cell.stats);
   }
+  ledger.set_gauge("headline.median_ratio", h.median_ratio);
+  ledger.set_gauge("headline.best_ratio", h.best_ratio);
+  core::record_campaign(ledger, t, threads);
+  ledger.set_host("wall_s_serial", core::json_number(serial_s));
+  ledger.set_host("speedup", core::json_number(serial_s > 0.0 && parallel_s > 0.0
+                                                   ? serial_s / parallel_s
+                                                   : 0.0));
+  core::emit(ledger);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 
 int main() {
@@ -19,10 +20,18 @@ int main() {
 
   auto app = workloads::make_ccs_qcd();
   constexpr int kReps = 5;
+  constexpr int kMaxNodes = 1 << 30;
 
-  const auto lin = core::scaling_sweep(*app, SystemConfig::linux_default(), kReps, 7);
-  const auto mck = core::scaling_sweep(*app, SystemConfig::mckernel(), kReps, 7);
-  const auto mos = core::scaling_sweep(*app, SystemConfig::mos(), kReps, 7);
+  obs::RunLedger ledger = core::bench_ledger("fig5a_ccs_qcd", "IPDPS'18, Figure 5a", 7);
+  core::record_config(ledger, SystemConfig::linux_default());
+  core::record_config(ledger, SystemConfig::mckernel());
+  core::record_config(ledger, SystemConfig::mos());
+  const auto lin = core::scaling_sweep(*app, SystemConfig::linux_default(), kReps, 7,
+                                       kMaxNodes, &ledger);
+  const auto mck =
+      core::scaling_sweep(*app, SystemConfig::mckernel(), kReps, 7, kMaxNodes, &ledger);
+  const auto mos =
+      core::scaling_sweep(*app, SystemConfig::mos(), kReps, 7, kMaxNodes, &ledger);
   const auto mck_rel = core::relative_to(mck, lin);
   const auto mos_rel = core::relative_to(mos, lin);
 
@@ -39,5 +48,12 @@ int main() {
   for (const auto& p : mos_rel) mos_peak = std::max(mos_peak, p.ratio);
   std::printf("peaks     McKernel %s (paper 139%%)   mOS %s (paper 128%%)\n",
               core::fmt_pct(mck_peak).c_str(), core::fmt_pct(mos_peak).c_str());
+
+  core::record_scaling(ledger, "ccs_qcd.linux", lin);
+  core::record_scaling(ledger, "ccs_qcd.mckernel", mck);
+  core::record_scaling(ledger, "ccs_qcd.mos", mos);
+  ledger.set_gauge("peak.mckernel_vs_linux", mck_peak);
+  ledger.set_gauge("peak.mos_vs_linux", mos_peak);
+  core::emit(ledger);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 
 int main() {
@@ -21,10 +22,18 @@ int main() {
 
   auto app = workloads::make_minife();
   constexpr int kReps = 5;
+  constexpr int kMaxNodes = 1 << 30;
 
-  const auto lin = core::scaling_sweep(*app, SystemConfig::linux_default(), kReps, 11);
-  const auto mck = core::scaling_sweep(*app, SystemConfig::mckernel(), kReps, 11);
-  const auto mos = core::scaling_sweep(*app, SystemConfig::mos(), kReps, 11);
+  obs::RunLedger ledger = core::bench_ledger("fig5b_minife", "IPDPS'18, Figure 5b", 11);
+  core::record_config(ledger, SystemConfig::linux_default());
+  core::record_config(ledger, SystemConfig::mckernel());
+  core::record_config(ledger, SystemConfig::mos());
+  const auto lin = core::scaling_sweep(*app, SystemConfig::linux_default(), kReps, 11,
+                                       kMaxNodes, &ledger);
+  const auto mck =
+      core::scaling_sweep(*app, SystemConfig::mckernel(), kReps, 11, kMaxNodes, &ledger);
+  const auto mos =
+      core::scaling_sweep(*app, SystemConfig::mos(), kReps, 11, kMaxNodes, &ledger);
 
   core::Table table{{"nodes", "McKernel Mflops", "mOS Mflops", "Linux Mflops",
                      "LWK/Linux"}};
@@ -38,5 +47,13 @@ int main() {
   std::printf("paper: at 1,024 nodes McKernel/Linux = 6.47, mOS/Linux = 7.01;\n"
               "       \"that apparent performance gain is actually due to Linux\n"
               "       performance dropping precariously\".\n");
+
+  core::record_scaling(ledger, "minife.linux", lin);
+  core::record_scaling(ledger, "minife.mckernel", mck);
+  core::record_scaling(ledger, "minife.mos", mos);
+  const std::size_t last = lin.size() - 1;
+  ledger.set_gauge("collapse.mckernel_vs_linux", mck[last].median / lin[last].median);
+  ledger.set_gauge("collapse.mos_vs_linux", mos[last].median / lin[last].median);
+  core::emit(ledger);
   return 0;
 }

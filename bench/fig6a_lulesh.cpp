@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 
 int main() {
@@ -21,10 +22,18 @@ int main() {
 
   auto app = workloads::make_lulesh(50);
   constexpr int kReps = 5;
+  constexpr int kMaxNodes = 1 << 30;
 
-  const auto lin = core::scaling_sweep(*app, SystemConfig::linux_default(), kReps, 13);
-  const auto mck = core::scaling_sweep(*app, SystemConfig::mckernel(), kReps, 13);
-  const auto mos = core::scaling_sweep(*app, SystemConfig::mos(), kReps, 13);
+  obs::RunLedger ledger = core::bench_ledger("fig6a_lulesh", "IPDPS'18, Figure 6a", 13);
+  core::record_config(ledger, SystemConfig::linux_default());
+  core::record_config(ledger, SystemConfig::mckernel());
+  core::record_config(ledger, SystemConfig::mos());
+  const auto lin = core::scaling_sweep(*app, SystemConfig::linux_default(), kReps, 13,
+                                       kMaxNodes, &ledger);
+  const auto mck =
+      core::scaling_sweep(*app, SystemConfig::mckernel(), kReps, 13, kMaxNodes, &ledger);
+  const auto mos =
+      core::scaling_sweep(*app, SystemConfig::mos(), kReps, 13, kMaxNodes, &ledger);
 
   core::Table table{{"nodes", "McKernel zones/s", "mOS zones/s", "Linux zones/s",
                      "mOS/Linux"}};
@@ -42,5 +51,12 @@ int main() {
   const auto& m_17 = mos[mos.size() - 1];
   std::printf("1331 -> 1728 speedup   Linux %.2fx   mOS %.2fx (ideal 1.30x)\n",
               l_17.median / l_13.median, m_17.median / m_13.median);
+
+  core::record_scaling(ledger, "lulesh.linux", lin);
+  core::record_scaling(ledger, "lulesh.mckernel", mck);
+  core::record_scaling(ledger, "lulesh.mos", mos);
+  ledger.set_gauge("top_step_speedup.linux", l_17.median / l_13.median);
+  ledger.set_gauge("top_step_speedup.mos", m_17.median / m_13.median);
+  core::emit(ledger);
   return 0;
 }

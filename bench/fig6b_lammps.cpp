@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 
 int main() {
@@ -22,10 +23,18 @@ int main() {
 
   auto app = workloads::make_lammps();
   constexpr int kReps = 5;
+  constexpr int kMaxNodes = 1 << 30;
 
-  const auto lin = core::scaling_sweep(*app, SystemConfig::linux_default(), kReps, 17);
-  const auto mck = core::scaling_sweep(*app, SystemConfig::mckernel(), kReps, 17);
-  const auto mos = core::scaling_sweep(*app, SystemConfig::mos(), kReps, 17);
+  obs::RunLedger ledger = core::bench_ledger("fig6b_lammps", "IPDPS'18, Figure 6b", 17);
+  core::record_config(ledger, SystemConfig::linux_default());
+  core::record_config(ledger, SystemConfig::mckernel());
+  core::record_config(ledger, SystemConfig::mos());
+  const auto lin = core::scaling_sweep(*app, SystemConfig::linux_default(), kReps, 17,
+                                       kMaxNodes, &ledger);
+  const auto mck =
+      core::scaling_sweep(*app, SystemConfig::mckernel(), kReps, 17, kMaxNodes, &ledger);
+  const auto mos =
+      core::scaling_sweep(*app, SystemConfig::mos(), kReps, 17, kMaxNodes, &ledger);
 
   core::Table table{{"nodes", "McKernel steps/s", "mOS steps/s", "Linux steps/s",
                      "McKernel/Linux"}};
@@ -47,5 +56,15 @@ int main() {
   std::printf("kernel-bypass fabric @2048 nodes: McKernel/Linux = %s "
               "(regression gone)\n",
               core::fmt_pct(mck_b.median() / lin_b.median()).c_str());
+
+  core::record_scaling(ledger, "lammps.linux", lin);
+  core::record_scaling(ledger, "lammps.mckernel", mck);
+  core::record_scaling(ledger, "lammps.mos", mos);
+  core::record_config(ledger, mck_bypass, "mckernel_bypass");
+  core::record_config(ledger, lin_bypass, "linux_bypass");
+  core::record_run_stats(ledger, "lammps.mckernel_bypass.n2048", mck_b);
+  core::record_run_stats(ledger, "lammps.linux_bypass.n2048", lin_b);
+  ledger.set_gauge("bypass.mckernel_vs_linux", mck_b.median() / lin_b.median());
+  core::emit(ledger);
   return 0;
 }

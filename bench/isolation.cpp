@@ -11,15 +11,21 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 
 namespace {
 
 using mkos::core::SystemConfig;
 
-double median(mkos::workloads::App& app, SystemConfig config, bool tenant, int nodes) {
+double median(mkos::workloads::App& app, SystemConfig config, bool tenant, int nodes,
+              mkos::obs::RunLedger& ledger, const std::string& series) {
   config.co_tenant = tenant;
-  return mkos::core::run_app(app, config, nodes, /*reps=*/5, /*seed=*/71).median();
+  const mkos::core::RunStats rs =
+      mkos::core::run_app(app, config, nodes, /*reps=*/5, /*seed=*/71);
+  mkos::core::record_config(ledger, config, series);
+  mkos::core::record_run_stats(ledger, series, rs);
+  return rs.median();
 }
 
 }  // namespace
@@ -41,12 +47,18 @@ int main() {
       {"MILC", workloads::make_milc(), 256},
   };
 
+  obs::RunLedger ledger =
+      core::bench_ledger("isolation", "related work [31],[32] at 256 nodes", 71);
+
   core::Table table{{"app @256 nodes", "OS", "alone", "with tenant", "retained"}};
   for (auto& c : cases) {
     for (const auto os : {kernel::OsKind::kLinux, kernel::OsKind::kMcKernel}) {
       const SystemConfig config = SystemConfig::for_os(os);
-      const double alone = median(*c.app, config, false, c.nodes);
-      const double shared = median(*c.app, config, true, c.nodes);
+      const std::string base = std::string(c.name) + "." + config.label();
+      const double alone = median(*c.app, config, false, c.nodes, ledger, base + ".alone");
+      const double shared =
+          median(*c.app, config, true, c.nodes, ledger, base + ".tenant");
+      ledger.set_gauge("retained." + base, shared / alone);
       table.add_row({c.name, config.label(), core::fmt_sci(alone), core::fmt_sci(shared),
                      core::fmt_pct(shared / alone)});
     }
@@ -57,5 +69,7 @@ int main() {
       "retains nearly all of its performance while the Linux deployment leaks\n"
       "the interference straight into the application's compute and\n"
       "collective paths.\n");
+
+  core::emit(ledger);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "compat/ltp.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 #include "hw/knl.hpp"
 #include "kernel/node.hpp"
@@ -37,6 +38,12 @@ int main() {
   table.add_row({"mOS", "3328", std::to_string(reports[2].second.failed), "111"});
   std::printf("%s\n", table.to_string().c_str());
 
+  obs::RunLedger ledger =
+      core::bench_ledger("ltp_compat", "IPDPS'18 Section III-D", 1);
+  for (const auto& [name, report] : reports) {
+    ledger.incr("ltp." + name + ".failed", static_cast<std::uint64_t>(report.failed));
+  }
+
   for (std::size_t i = 1; i < reports.size(); ++i) {
     std::printf("%s failures by family:\n", reports[i].first.c_str());
     std::vector<std::pair<std::string, int>> fams(
@@ -46,9 +53,14 @@ int main() {
               [](const auto& a, const auto& b) { return a.second > b.second; });
     for (const auto& [family, count] : fams) {
       std::printf("  %-16s %3d\n", family.c_str(), count);
+      // fams is sorted above — deterministic order for the ledger too.
+      ledger.incr("ltp." + reports[i].first + ".family." + family,
+                  static_cast<std::uint64_t>(count));
     }
   }
   std::printf("\npaper anchors: 11 of McKernel's failures are move_pages() variants;\n"
               "4 of 5 ptrace tests fail on mOS; fork()-setup cascades dominate mOS.\n");
+
+  core::emit(ledger);
   return 0;
 }

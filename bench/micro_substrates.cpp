@@ -9,9 +9,11 @@
 
 #include "compat/ltp.hpp"
 #include "core/config.hpp"
+#include "core/obs_glue.hpp"
 #include "hw/knl.hpp"
 #include "kernel/node.hpp"
 #include "mem/heap.hpp"
+#include "obs/snapshots.hpp"
 #include "runtime/noise_extremes.hpp"
 #include "runtime/simmpi.hpp"
 
@@ -147,3 +149,29 @@ void BM_LtpSuiteRun(benchmark::State& state) {
 BENCHMARK(BM_LtpSuiteRun);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the bench also emits a run
+// ledger. Host-measured throughput stays out of the ledger (it is not
+// deterministic); the *modeled* mechanism costs are, and go in as gauges.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace mkos;
+  obs::RunLedger ledger =
+      core::bench_ledger("micro_substrates", "framework substrate costs", 1);
+  kernel::Node mck{hw::knl_snc4_flat(), kernel::NodeOsConfig::mckernel_default(), 1};
+  kernel::Node mos{hw::knl_snc4_flat(), kernel::NodeOsConfig::mos_default(), 2};
+  kernel::Node lin{hw::knl_snc4_flat(), kernel::NodeOsConfig::linux_default(), 3};
+  ledger.set_gauge("modeled.mckernel_proxy_ns",
+                   static_cast<double>(mck.app_kernel().offload_cost(256).ns()));
+  ledger.set_gauge("modeled.mos_migration_ns",
+                   static_cast<double>(mos.app_kernel().offload_cost(256).ns()));
+  ledger.set_gauge("modeled.linux_local_ns",
+                   static_cast<double>(lin.app_kernel().local_syscall_cost().ns()));
+  obs::record_kernel(ledger, mck.app_kernel());
+  core::emit(ledger);
+  return 0;
+}

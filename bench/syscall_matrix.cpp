@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 #include "hw/knl.hpp"
 #include "kernel/node.hpp"
@@ -27,6 +28,9 @@ int main() {
   kernel::Kernel* kernels[] = {&linux_node.app_kernel(), &mck_node.app_kernel(),
                                &mos_node.app_kernel(), &fused_node.app_kernel()};
 
+  obs::RunLedger ledger =
+      core::bench_ledger("syscall_matrix", "IPDPS'18 Section II-D", 1);
+
   // Summary counts per kernel.
   core::Table summary{{"kernel", "local", "offloaded", "partial", "unsupported"}};
   for (kernel::Kernel* k : kernels) {
@@ -37,6 +41,11 @@ int main() {
     summary.add_row({std::string(k->name()), std::to_string(counts[0]),
                      std::to_string(counts[1]), std::to_string(counts[2]),
                      std::to_string(counts[3])});
+    const std::string base = "dispo." + std::string(k->name()) + ".";
+    const char* kinds[] = {"local", "offloaded", "partial", "unsupported"};
+    for (int d = 0; d < 4; ++d) {
+      ledger.incr(base + kinds[d], static_cast<std::uint64_t>(counts[d]));
+    }
   }
   std::printf("%s\n", summary.to_string().c_str());
 
@@ -55,5 +64,8 @@ int main() {
     table.add_row(std::move(row));
   }
   std::printf("calls where the LWK designs disagree:\n%s\n", table.to_string().c_str());
+  ledger.incr("dispo.divergent_calls", static_cast<std::uint64_t>(table.rows()));
+
+  core::emit(ledger);
   return 0;
 }

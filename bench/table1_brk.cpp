@@ -8,13 +8,19 @@
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/obs_glue.hpp"
 #include "core/report.hpp"
 
 namespace {
 
-double run_ddr_lulesh(const mkos::core::SystemConfig& config) {
+double run_ddr_lulesh(const mkos::core::SystemConfig& config, mkos::obs::RunLedger& ledger,
+                      const std::string& series) {
   auto app = mkos::workloads::make_lulesh(50, /*force_ddr=*/true);
-  return mkos::core::run_app(*app, config, /*nodes=*/1, /*reps=*/5, /*seed=*/21).median();
+  const mkos::core::RunStats rs =
+      mkos::core::run_app(*app, config, /*nodes=*/1, /*reps=*/5, /*seed=*/21);
+  mkos::core::record_config(ledger, config, series);
+  mkos::core::record_run_stats(ledger, series, rs);
+  return rs.median();
 }
 
 }  // namespace
@@ -36,9 +42,10 @@ int main() {
   SystemConfig mos_regular = SystemConfig::mos();
   mos_regular.lwk_prefer_mcdram = false;
 
-  const double lin = run_ddr_lulesh(linux_cfg);
-  const double plain = run_ddr_lulesh(mos_plain);
-  const double regular = run_ddr_lulesh(mos_regular);
+  obs::RunLedger ledger = core::bench_ledger("table1_brk", "IPDPS'18, Table I", 21);
+  const double lin = run_ddr_lulesh(linux_cfg, ledger, "lulesh_ddr.linux");
+  const double plain = run_ddr_lulesh(mos_plain, ledger, "lulesh_ddr.mos_plain_heap");
+  const double regular = run_ddr_lulesh(mos_regular, ledger, "lulesh_ddr.mos_hpc_heap");
 
   core::Table table{{"configuration", "zones/s", "vs Linux", "paper"}};
   table.add_row({"Linux", core::fmt(lin, 0), "100.0%", "8,959 (100.0%)"});
@@ -51,5 +58,9 @@ int main() {
   std::printf("decomposition: ~%s of the gain is heap management "
               "(paper: 121.0 - 106.6 = 14.4 points)\n",
               core::fmt_pct(regular / lin - plain / lin, 1).c_str());
+
+  ledger.set_gauge("ratio.mos_plain_vs_linux", plain / lin);
+  ledger.set_gauge("ratio.mos_hpc_vs_linux", regular / lin);
+  core::emit(ledger);
   return 0;
 }

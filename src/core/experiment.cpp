@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/snapshots.hpp"
 #include "sim/contracts.hpp"
 
 namespace mkos::core {
@@ -20,17 +21,30 @@ std::uint64_t mix64(std::uint64_t x) {
   return x;
 }
 
+/// One repetition's figure of merit plus its telemetry snapshot.
+struct RepOutcome {
+  workloads::AppResult result;
+  obs::RunLedger ledger;
+};
+
 /// One repetition of a cell with positionally derived seeds. Thread-safe as
 /// long as `app` is not shared across concurrent calls.
-workloads::AppResult run_once(workloads::App& app, const SystemConfig& config, int nodes,
-                              std::uint64_t cell_fp, int rep) {
+RepOutcome run_once(workloads::App& app, const SystemConfig& config, int nodes,
+                    std::uint64_t cell_fp, int rep) {
   // Fresh machine per repetition: heap state, placements and partition
   // fragmentation must not leak across runs.
   const runtime::Machine machine = config.machine(nodes);
   runtime::Job job(machine, app.spec(nodes), rep_seed(cell_fp, rep, /*stream=*/0));
   app.setup(job);
   runtime::MpiWorld world(job, rep_seed(cell_fp, rep, /*stream=*/1));
-  return app.run(job, world);
+  RepOutcome out;
+  out.result = app.run(job, world);
+  // Snapshot after the run so heap/kernel/world counters reflect the whole
+  // repetition; per-rep ledgers are merged positionally by the callers.
+  obs::record_world(out.ledger, world);
+  obs::record_job(out.ledger, job);
+  out.ledger.observe("run.fom", out.result.fom);
+  return out;
 }
 
 std::vector<int> capped_node_counts(const workloads::App& app, int max_nodes) {
@@ -47,11 +61,12 @@ std::unique_ptr<workloads::App> registry_app(std::string_view name) {
   return app;
 }
 
-RunStats collect(const std::vector<workloads::AppResult>& results) {
+RunStats collect(const std::vector<RepOutcome>& outcomes) {
   RunStats rs;
-  for (const workloads::AppResult& res : results) {
-    rs.fom.add(res.fom);
-    rs.unit = res.unit;
+  for (const RepOutcome& o : outcomes) {
+    rs.fom.add(o.result.fom);
+    rs.unit = o.result.unit;
+    rs.ledger.merge(o.ledger);  // rep order: positional, thread-count free
   }
   return rs;
 }
@@ -79,12 +94,12 @@ RunStats run_app(workloads::App& app, const SystemConfig& config, int nodes, int
                  std::uint64_t seed) {
   MKOS_EXPECTS(reps >= 1);
   const std::uint64_t fp = cell_fingerprint(app.name(), config, nodes, seed);
-  std::vector<workloads::AppResult> results;
-  results.reserve(static_cast<std::size_t>(reps));
+  std::vector<RepOutcome> outcomes;
+  outcomes.reserve(static_cast<std::size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
-    results.push_back(run_once(app, config, nodes, fp, rep));
+    outcomes.push_back(run_once(app, config, nodes, fp, rep));
   }
-  return collect(results);
+  return collect(outcomes);
 }
 
 RunStats run_app(std::string_view app_name, const SystemConfig& config, int nodes,
@@ -92,21 +107,23 @@ RunStats run_app(std::string_view app_name, const SystemConfig& config, int node
   MKOS_EXPECTS(reps >= 1);
   registry_app(app_name);  // fail fast on unknown names, before fan-out
   const std::uint64_t fp = cell_fingerprint(app_name, config, nodes, seed);
-  std::vector<workloads::AppResult> results(static_cast<std::size_t>(reps));
+  std::vector<RepOutcome> outcomes(static_cast<std::size_t>(reps));
   sim::parallel_for(pool, static_cast<std::size_t>(reps), [&](std::size_t rep) {
     // Own App per task: proxies keep per-run scratch, and sharing one across
     // threads would race setup() against run().
     const auto app = registry_app(app_name);
-    results[rep] = run_once(*app, config, nodes, fp, static_cast<int>(rep));
+    outcomes[rep] = run_once(*app, config, nodes, fp, static_cast<int>(rep));
   });
-  return collect(results);
+  return collect(outcomes);
 }
 
 std::vector<ScalingPoint> scaling_sweep(workloads::App& app, const SystemConfig& config,
-                                        int reps, std::uint64_t seed, int max_nodes) {
+                                        int reps, std::uint64_t seed, int max_nodes,
+                                        obs::RunLedger* ledger) {
   std::vector<ScalingPoint> out;
   for (const int nodes : capped_node_counts(app, max_nodes)) {
     const RunStats rs = run_app(app, config, nodes, reps, seed);
+    if (ledger != nullptr) ledger->merge(rs.ledger);
     out.push_back(ScalingPoint{nodes, rs.median(), rs.min(), rs.max()});
   }
   return out;
@@ -115,15 +132,15 @@ std::vector<ScalingPoint> scaling_sweep(workloads::App& app, const SystemConfig&
 std::vector<ScalingPoint> scaling_sweep(std::string_view app_name,
                                         const SystemConfig& config, int reps,
                                         std::uint64_t seed, sim::ThreadPool& pool,
-                                        int max_nodes) {
+                                        int max_nodes, obs::RunLedger* ledger) {
   MKOS_EXPECTS(reps >= 1);
   const auto probe = registry_app(app_name);
   const std::vector<int> counts = capped_node_counts(*probe, max_nodes);
 
   // Flatten to (node, rep) tasks for load balance: large-node cells dominate
   // wall time and would serialize a per-node fan-out's tail.
-  std::vector<std::vector<workloads::AppResult>> results(counts.size());
-  for (auto& cell : results) cell.resize(static_cast<std::size_t>(reps));
+  std::vector<std::vector<RepOutcome>> outcomes(counts.size());
+  for (auto& cell : outcomes) cell.resize(static_cast<std::size_t>(reps));
   sim::parallel_for(pool, counts.size() * static_cast<std::size_t>(reps),
                     [&](std::size_t task) {
                       const std::size_t ci = task / static_cast<std::size_t>(reps);
@@ -131,13 +148,16 @@ std::vector<ScalingPoint> scaling_sweep(std::string_view app_name,
                       const std::uint64_t fp =
                           cell_fingerprint(app_name, config, counts[ci], seed);
                       const auto app = registry_app(app_name);
-                      results[ci][rep] = run_once(*app, config, counts[ci], fp, rep);
+                      outcomes[ci][rep] = run_once(*app, config, counts[ci], fp, rep);
                     });
 
   std::vector<ScalingPoint> out;
   out.reserve(counts.size());
   for (std::size_t ci = 0; ci < counts.size(); ++ci) {
-    const RunStats rs = collect(results[ci]);
+    const RunStats rs = collect(outcomes[ci]);
+    // Merge after collect so the ledger accumulates in (node, rep) order —
+    // identical to the serial overload regardless of task scheduling.
+    if (ledger != nullptr) ledger->merge(rs.ledger);
     out.push_back(ScalingPoint{counts[ci], rs.median(), rs.min(), rs.max()});
   }
   return out;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/ledger.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
 #include "workloads/app.hpp"
@@ -25,6 +26,9 @@ namespace mkos::core {
 struct RunStats {
   sim::Summary fom;
   std::string unit;
+  /// Telemetry of the cell's repetitions, merged in rep order (positional,
+  /// so serial and pooled runs carry identical ledgers).
+  obs::RunLedger ledger;
 
   [[nodiscard]] double median() const { return fom.median(); }
   [[nodiscard]] double min() const { return fom.min(); }
@@ -62,18 +66,24 @@ struct ScalingPoint {
 };
 
 /// Full node-count sweep at the app's own counts (capped at `max_nodes`).
+/// When `ledger` is non-null, every repetition's telemetry is merged into it
+/// in (node, rep) order.
 [[nodiscard]] std::vector<ScalingPoint> scaling_sweep(workloads::App& app,
                                                       const SystemConfig& config,
                                                       int reps, std::uint64_t seed,
-                                                      int max_nodes = 1 << 30);
+                                                      int max_nodes = 1 << 30,
+                                                      obs::RunLedger* ledger = nullptr);
 
 /// Thread-pooled sweep: (node count, repetition) pairs fan out as independent
-/// tasks. Bit-identical to the serial overload for the same inputs.
+/// tasks. Bit-identical to the serial overload for the same inputs — including
+/// the merged `ledger`, which always accumulates in positional (node, rep)
+/// order regardless of task scheduling.
 [[nodiscard]] std::vector<ScalingPoint> scaling_sweep(std::string_view app_name,
                                                       const SystemConfig& config,
                                                       int reps, std::uint64_t seed,
                                                       sim::ThreadPool& pool,
-                                                      int max_nodes = 1 << 30);
+                                                      int max_nodes = 1 << 30,
+                                                      obs::RunLedger* ledger = nullptr);
 
 /// Median relative performance vs a baseline sweep (same node counts).
 struct RelativePoint {

@@ -1,0 +1,77 @@
+#include "core/obs_glue.hpp"
+
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "sim/contracts.hpp"
+
+namespace mkos::core {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+obs::RunLedger bench_ledger(const std::string& bench_id, const std::string& paper_ref,
+                            std::uint64_t seed) {
+  obs::RunLedger ledger;
+  ledger.set_meta("bench", bench_id);
+  ledger.set_meta("paper_ref", paper_ref);
+  ledger.set_meta("seed", std::to_string(seed));
+  return ledger;
+}
+
+void record_config(obs::RunLedger& ledger, const SystemConfig& config,
+                   const std::string& key) {
+  const std::string name = key.empty() ? config.label() : key;
+  ledger.set_meta("config." + name, hex64(config.fingerprint()));
+}
+
+void record_scaling(obs::RunLedger& ledger, const std::string& series,
+                    const std::vector<ScalingPoint>& points) {
+  for (const ScalingPoint& p : points) {
+    const std::string base = series + ".n" + std::to_string(p.nodes);
+    ledger.set_gauge(base + ".median", p.median);
+    ledger.set_gauge(base + ".min", p.min);
+    ledger.set_gauge(base + ".max", p.max);
+  }
+}
+
+void record_run_stats(obs::RunLedger& ledger, const std::string& series,
+                      const RunStats& stats) {
+  for (const double s : stats.fom.samples()) ledger.observe(series, s);
+  if (!stats.unit.empty()) ledger.set_meta(series + ".unit", stats.unit);
+  ledger.merge(stats.ledger);
+}
+
+void record_campaign(obs::RunLedger& ledger, const CampaignTelemetry& telemetry,
+                     int threads) {
+  // Cells and cache hits are functions of the grid alone (positional seeds,
+  // deterministic in-run dedup), so they belong to the deterministic block.
+  ledger.incr("campaign.cells", telemetry.cells);
+  ledger.incr("campaign.cache_hits", telemetry.cache_hits);
+  // Wall time and throughput vary run to run: host block only.
+  ledger.set_host("threads", std::to_string(threads));
+  ledger.set_host("wall_seconds", json_number(telemetry.wall_seconds));
+  ledger.set_host("cells_per_second", json_number(telemetry.cells_per_second()));
+  ledger.set_host("cell_wall_ms", obs::histogram_json(telemetry.cell_wall_ms));
+}
+
+bool emit(const obs::RunLedger& ledger) {
+  const std::string* id = ledger.meta("bench");
+  MKOS_EXPECTS(id != nullptr);  // stamp identity with bench_ledger() first
+  const std::string path = "BENCH_" + *id + ".json";
+  if (!write_text_file(path, ledger.to_json())) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace mkos::core

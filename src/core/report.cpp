@@ -1,7 +1,11 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+
+#include "sim/contracts.hpp"
 
 namespace mkos::core {
 
@@ -89,28 +93,43 @@ std::string fmt_pct(double ratio, int precision) {
   return buf;
 }
 
-namespace {
-
 std::string json_quote(const std::string& s) {
   std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-      continue;
+  for (const char ch : s) {
+    const auto byte = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += ch;
+        }
+        break;
     }
-    out += c;
   }
   out += '"';
   return out;
 }
 
-}  // namespace
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  MKOS_ENSURES(res.ec == std::errc{});
+  return std::string(buf, res.ptr);
+}
 
 JsonObject& JsonObject::number(const std::string& key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.10g", v);
-  fields_.push_back(json_quote(key) + ": " + buf);
+  fields_.push_back(json_quote(key) + ": " + json_number(v));
   return *this;
 }
 
@@ -121,6 +140,16 @@ JsonObject& JsonObject::integer(const std::string& key, std::int64_t v) {
 
 JsonObject& JsonObject::text(const std::string& key, const std::string& v) {
   fields_.push_back(json_quote(key) + ": " + json_quote(v));
+  return *this;
+}
+
+JsonObject& JsonObject::boolean(const std::string& key, bool v) {
+  fields_.push_back(json_quote(key) + ": " + (v ? "true" : "false"));
+  return *this;
+}
+
+JsonObject& JsonObject::raw(const std::string& key, const std::string& json) {
+  fields_.push_back(json_quote(key) + ": " + json);
   return *this;
 }
 

@@ -37,13 +37,25 @@ class Table {
 /// Section banner used by every bench binary.
 void print_banner(const std::string& title, const std::string& paper_ref);
 
-/// Flat JSON object builder for machine-readable perf artifacts
-/// (BENCH_*.json): insertion-ordered key/value pairs, no nesting.
+/// RFC 8259 string literal: wraps in quotes, escapes `"` and `\`, and all
+/// control characters below 0x20 (`\b \f \n \r \t` shortcuts, `\u00XX`
+/// otherwise) so the output always parses under a strict JSON reader.
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+/// Shortest round-trip decimal for a double (std::to_chars); non-finite
+/// values serialize as `null` — bare `nan`/`inf` are not valid JSON.
+[[nodiscard]] std::string json_number(double v);
+
+/// JSON object builder for machine-readable perf artifacts (BENCH_*.json):
+/// insertion-ordered key/value pairs; nested objects/arrays attach via raw().
 class JsonObject {
  public:
   JsonObject& number(const std::string& key, double v);
   JsonObject& integer(const std::string& key, std::int64_t v);
   JsonObject& text(const std::string& key, const std::string& v);
+  JsonObject& boolean(const std::string& key, bool v);
+  /// Attach pre-serialized JSON (object/array/literal) under `key`.
+  JsonObject& raw(const std::string& key, const std::string& json);
 
   [[nodiscard]] std::string to_string() const;
 

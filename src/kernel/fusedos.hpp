@@ -42,6 +42,11 @@ class FusedOs final : public Kernel {
   [[nodiscard]] const PseudoFs& pseudofs() const override { return fs_; }
   [[nodiscard]] mem::MemCostModel mem_costs() const override { return mem_costs_; }
 
+  /// FusedOS offloads every call: one CL-to-FL round trip each.
+  [[nodiscard]] std::uint64_t ikc_round_trips() const override {
+    return offloaded_call_count();
+  }
+
  protected:
   [[nodiscard]] std::unique_ptr<mem::HeapEngine> make_heap(Process& p) override;
   [[nodiscard]] bool fds_proxy_managed() const override { return true; }

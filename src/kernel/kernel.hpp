@@ -137,6 +137,10 @@ class Kernel {
 
   [[nodiscard]] std::uint64_t offloaded_call_count() const { return offloaded_calls_; }
   [[nodiscard]] std::uint64_t local_call_count() const { return local_calls_; }
+  /// IKC request/response round trips taken by offloaded calls. Zero on
+  /// kernels whose offload path does not ride a message channel (Linux has
+  /// no offloading; mOS migrates threads instead of posting messages).
+  [[nodiscard]] virtual std::uint64_t ikc_round_trips() const { return 0; }
 
  protected:
   /// Build the heap engine attached to new processes.

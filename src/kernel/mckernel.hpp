@@ -50,6 +50,11 @@ class McKernel final : public Kernel {
   [[nodiscard]] const McKernelOptions& options() const { return options_; }
   [[nodiscard]] const IkcChannel& ikc() const { return ikc_; }
 
+  /// Every offloaded call is one proxy round trip over IKC.
+  [[nodiscard]] std::uint64_t ikc_round_trips() const override {
+    return offloaded_call_count();
+  }
+
   /// Whether any mapping of this kernel fell back to demand paging (the
   /// CCS-QCD mechanism the paper's kernel logs revealed).
   [[nodiscard]] bool demand_fallback_engaged() const { return fallback_engaged_; }

@@ -1,0 +1,201 @@
+#include "obs/ledger.hpp"
+
+#include <utility>
+
+#include "core/report.hpp"
+
+namespace mkos::obs {
+
+template <typename T>
+T& RunLedger::Section<T>::at(const std::string& name, T initial) {
+  const auto it = index.find(name);
+  if (it != index.end()) return entries[it->second].value;
+  index.emplace(name, entries.size());
+  entries.push_back(Entry<T>{name, std::move(initial)});
+  return entries.back().value;
+}
+
+template <typename T>
+const T* RunLedger::Section<T>::find(const std::string& name) const {
+  const auto it = index.find(name);
+  return it == index.end() ? nullptr : &entries[it->second].value;
+}
+
+void RunLedger::set_meta(const std::string& key, const std::string& value) {
+  meta_.at(key, std::string{}) = value;
+}
+
+const std::string* RunLedger::meta(const std::string& key) const {
+  return meta_.find(key);
+}
+
+void RunLedger::incr(const std::string& name, std::uint64_t by) {
+  counters_.at(name, 0) += by;
+}
+
+std::uint64_t RunLedger::counter(const std::string& name) const {
+  const std::uint64_t* v = counters_.find(name);
+  return v == nullptr ? 0 : *v;
+}
+
+void RunLedger::set_gauge(const std::string& name, double value) {
+  gauges_.at(name, 0.0) = value;
+}
+
+double RunLedger::gauge(const std::string& name) const {
+  const double* v = gauges_.find(name);
+  return v == nullptr ? 0.0 : *v;
+}
+
+void RunLedger::observe(const std::string& name, double sample) {
+  summaries_.at(name, sim::Summary{}).add(sample);
+}
+
+const sim::Summary* RunLedger::summary(const std::string& name) const {
+  return summaries_.find(name);
+}
+
+sim::Histogram& RunLedger::hist(const std::string& name, double min_value,
+                                double max_value, int bins_per_decade) {
+  return histograms_.at(name, sim::Histogram{min_value, max_value, bins_per_decade});
+}
+
+const sim::Histogram* RunLedger::histogram(const std::string& name) const {
+  return histograms_.find(name);
+}
+
+void RunLedger::set_host(const std::string& key, const std::string& json_value) {
+  host_.at(key, std::string{}) = json_value;
+}
+
+void RunLedger::merge(const RunLedger& other) {
+  for (const auto& e : other.meta_.entries) {
+    if (meta_.find(e.name) == nullptr) set_meta(e.name, e.value);
+  }
+  for (const auto& e : other.counters_.entries) incr(e.name, e.value);
+  for (const auto& e : other.gauges_.entries) set_gauge(e.name, e.value);
+  for (const auto& e : other.summaries_.entries) {
+    sim::Summary& mine = summaries_.at(e.name, sim::Summary{});
+    for (const double s : e.value.samples()) mine.add(s);
+  }
+  for (const auto& e : other.histograms_.entries) {
+    const auto it = histograms_.index.find(e.name);
+    if (it == histograms_.index.end()) {
+      histograms_.index.emplace(e.name, histograms_.entries.size());
+      histograms_.entries.push_back(e);
+    } else {
+      histograms_.entries[it->second].value.merge(e.value);
+    }
+  }
+  for (const auto& e : other.host_.entries) {
+    if (host_.find(e.name) == nullptr) set_host(e.name, e.value);
+  }
+}
+
+std::string summary_json(const sim::Summary& s) {
+  std::string out = "{";
+  out += "\"count\": " + std::to_string(s.count());
+  if (!s.empty()) {
+    out += ", \"min\": " + core::json_number(s.min());
+    out += ", \"max\": " + core::json_number(s.max());
+    out += ", \"mean\": " + core::json_number(s.mean());
+    out += ", \"median\": " + core::json_number(s.median());
+    out += ", \"p95\": " + core::json_number(s.percentile(95.0));
+    out += ", \"stddev\": " + core::json_number(s.stddev());
+  }
+  out += "}";
+  return out;
+}
+
+std::string histogram_json(const sim::Histogram& h) {
+  std::string out = "{";
+  out += "\"min_value\": " + core::json_number(h.min_value());
+  out += ", \"max_value\": " + core::json_number(h.max_value());
+  out += ", \"total\": " + std::to_string(h.total());
+  out += ", \"underflow\": " + std::to_string(h.underflow());
+  out += ", \"overflow\": " + std::to_string(h.overflow());
+  if (h.total() > 0) {
+    out += ", \"p50\": " + core::json_number(h.quantile(0.5));
+    out += ", \"p95\": " + core::json_number(h.quantile(0.95));
+    out += ", \"p99\": " + core::json_number(h.quantile(0.99));
+  }
+  out += ", \"bins\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    if (h.bin(i) == 0) continue;  // sparse: empty bins carry no information
+    if (!first) out += ", ";
+    first = false;
+    out += '[';
+    out += core::json_number(h.bin_lower(i));
+    out += ", ";
+    out += core::json_number(h.bin_upper(i));
+    out += ", ";
+    out += std::to_string(h.bin(i));
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+/// Emit one section as `"name": { "key": value, ... }` with two-space
+/// indentation; `render` maps an entry value to a JSON value string.
+template <typename Entries, typename Render>
+void emit_section(std::string& out, const char* name, const Entries& entries,
+                  Render&& render, bool trailing_comma) {
+  out += "  ";
+  out += core::json_quote(name);
+  out += ": {";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + core::json_quote(entries[i].name) + ": " + render(entries[i].value);
+  }
+  if (!entries.empty()) out += "\n  ";
+  out += "}";
+  if (trailing_comma) out += ",";
+  out += "\n";
+}
+
+}  // namespace
+
+std::string RunLedger::to_json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": " + core::json_quote(kSchemaId) + ",\n";
+  out += "  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
+  emit_section(out, "meta", meta_.entries,
+               [](const std::string& v) { return core::json_quote(v); }, true);
+  emit_section(out, "counters", counters_.entries,
+               [](std::uint64_t v) { return std::to_string(v); }, true);
+  emit_section(out, "gauges", gauges_.entries,
+               [](double v) { return core::json_number(v); }, true);
+  emit_section(out, "summaries", summaries_.entries,
+               [](const sim::Summary& v) { return summary_json(v); }, true);
+  emit_section(out, "histograms", histograms_.entries,
+               [](const sim::Histogram& v) { return histogram_json(v); }, true);
+  emit_section(out, "host", host_.entries,
+               [](const std::string& v) { return v.empty() ? std::string("null") : v; },
+               false);
+  out += "}\n";
+  return out;
+}
+
+std::string RunLedger::to_csv() const {
+  core::Table t({"section", "name", "value"});
+  for (const auto& e : meta_.entries) t.add_row({"meta", e.name, e.value});
+  for (const auto& e : counters_.entries) {
+    t.add_row({"counter", e.name, std::to_string(e.value)});
+  }
+  for (const auto& e : gauges_.entries) {
+    t.add_row({"gauge", e.name, core::json_number(e.value)});
+  }
+  for (const auto& e : summaries_.entries) {
+    if (e.value.empty()) continue;
+    t.add_row({"summary", e.name + ".median", core::json_number(e.value.median())});
+    t.add_row({"summary", e.name + ".min", core::json_number(e.value.min())});
+    t.add_row({"summary", e.name + ".max", core::json_number(e.value.max())});
+  }
+  return t.to_csv();
+}
+
+}  // namespace mkos::obs

@@ -1,0 +1,78 @@
+#include "obs/snapshots.hpp"
+
+#include "kernel/kernel.hpp"
+#include "mem/address_space.hpp"
+#include "mem/heap.hpp"
+#include "runtime/job.hpp"
+#include "runtime/simmpi.hpp"
+
+namespace mkos::obs {
+
+void record_heap(RunLedger& ledger, const mem::HeapStats& stats) {
+  ledger.incr("heap.brk_calls", stats.calls());
+  ledger.incr("heap.grows", stats.grows);
+  ledger.incr("heap.shrinks", stats.shrinks);
+  ledger.incr("heap.faults", stats.faults);
+  ledger.incr("heap.zeroed_bytes", stats.zeroed);
+  ledger.incr("heap.cum_growth_bytes", stats.cum_growth);
+}
+
+void record_placement(RunLedger& ledger, const mem::Placement& placement,
+                      const hw::NodeTopology& topo) {
+  ledger.incr("mem.bytes_4k", placement.bytes_with_page(mem::PageSize::k4K));
+  ledger.incr("mem.bytes_2m", placement.bytes_with_page(mem::PageSize::k2M));
+  ledger.incr("mem.bytes_1g", placement.bytes_with_page(mem::PageSize::k1G));
+  ledger.incr("mem.bytes_mcdram", placement.bytes_in_kind(topo, hw::MemKind::kMcdram));
+  ledger.incr("mem.bytes_ddr4", placement.bytes_in_kind(topo, hw::MemKind::kDdr4));
+}
+
+void record_address_space(RunLedger& ledger, const mem::AddressSpace& as,
+                          const hw::NodeTopology& topo) {
+  // for_each walks the VMA map in address order — deterministic.
+  as.for_each([&](const mem::Vma& vma) {
+    record_placement(ledger, vma.placement, topo);
+  });
+  ledger.incr("mem.faults", as.total_faults());
+  ledger.incr("mem.vmas", as.vma_count());
+}
+
+void record_kernel(RunLedger& ledger, const kernel::Kernel& k) {
+  ledger.incr("kernel.syscalls_local", k.local_call_count());
+  ledger.incr("kernel.syscalls_offloaded", k.offloaded_call_count());
+  ledger.incr("kernel.ikc_round_trips", k.ikc_round_trips());
+  // Noise detours by source: the model's per-source rates (what each
+  // source steals is sampled downstream and lands in runtime.noise_wait_ns).
+  for (const kernel::NoiseComponent& c : k.noise().components()) {
+    ledger.set_gauge("kernel.noise." + c.label + ".rate_hz", c.rate_hz);
+  }
+}
+
+void record_world(RunLedger& ledger, const runtime::MpiWorld& world) {
+  ledger.incr("runtime.allreduces", world.allreduce_count());
+  ledger.incr("runtime.collective_stages", world.collective_stage_count());
+  const runtime::MpiWorld::PhaseBreakdown b = world.breakdown();
+  ledger.incr("runtime.compute_ns", static_cast<std::uint64_t>(b.compute.ns()));
+  ledger.incr("runtime.noise_wait_ns", static_cast<std::uint64_t>(b.noise.ns()));
+  ledger.incr("runtime.comm_ns", static_cast<std::uint64_t>(b.comm.ns()));
+  ledger.incr("runtime.coll_stall_ns",
+              static_cast<std::uint64_t>(world.total_collective_stall().ns()));
+  // Per-sync noise detour distribution, when the world traced its syncs.
+  if (!world.trace().empty()) {
+    sim::Histogram& h = ledger.hist("runtime.sync_noise_us", 1e-2, 1e6, 4);
+    for (const runtime::MpiWorld::SyncEvent& ev : world.trace()) {
+      if (ev.noise.ns() > 0) h.add(ev.noise.us());
+    }
+  }
+}
+
+void record_job(RunLedger& ledger, runtime::Job& job) {
+  record_kernel(ledger, job.kernel());
+  const hw::NodeTopology& topo = job.kernel().topo();
+  for (int i = 0; i < job.lane_count(); ++i) {
+    const kernel::Process& p = job.lane(i);
+    if (p.heap() != nullptr) record_heap(ledger, p.heap()->stats());
+    record_address_space(ledger, p.address_space(), topo);
+  }
+}
+
+}  // namespace mkos::obs

@@ -1,0 +1,58 @@
+#pragma once
+// Subsystem snapshots into a RunLedger.
+//
+// Each helper reads one subsystem's statistics and records them under the
+// ledger naming convention (`<subsystem>.<metric>`). Helpers are pure
+// readers: they never mutate the snapshotted object, and every value they
+// record is deterministic (a function of the simulation inputs), so the
+// results respect the ledger's determinism contract. Counters accumulate
+// across calls — snapshotting the same kernel twice doubles its counts —
+// so call each helper exactly once per scope being recorded.
+
+#include "obs/ledger.hpp"
+
+namespace mkos::hw {
+class NodeTopology;
+}  // namespace mkos::hw
+
+namespace mkos::mem {
+struct HeapStats;
+class Placement;
+class AddressSpace;
+}  // namespace mkos::mem
+
+namespace mkos::kernel {
+class Kernel;
+}  // namespace mkos::kernel
+
+namespace mkos::runtime {
+class MpiWorld;
+class Job;
+}  // namespace mkos::runtime
+
+namespace mkos::obs {
+
+/// heap.* counters: brk traffic, faults, zeroing work.
+void record_heap(RunLedger& ledger, const mem::HeapStats& stats);
+
+/// mem.* counters: resident bytes by page size and by memory kind.
+void record_placement(RunLedger& ledger, const mem::Placement& placement,
+                      const hw::NodeTopology& topo);
+
+/// mem.* counters over every VMA of an address space (page-size mix,
+/// MCDRAM vs DDR4 split, demand faults).
+void record_address_space(RunLedger& ledger, const mem::AddressSpace& as,
+                          const hw::NodeTopology& topo);
+
+/// kernel.* counters (local/offloaded calls, IKC round trips) and the
+/// noise model's per-source rates as gauges (kernel.noise.<label>.rate_hz).
+void record_kernel(RunLedger& ledger, const kernel::Kernel& k);
+
+/// runtime.* counters: collectives, stages, phase breakdown (ns), stalls.
+void record_world(RunLedger& ledger, const runtime::MpiWorld& world);
+
+/// Whole-job snapshot: kernel + every lane's heap and address space, in
+/// lane order (positional, hence deterministic).
+void record_job(RunLedger& ledger, runtime::Job& job);
+
+}  // namespace mkos::obs

@@ -135,6 +135,9 @@ sim::TimeNs MpiWorld::collective_cost(sim::Bytes bytes) {
         k.network_syscall_overhead().scaled(net.kernel_involved_ops);
   }
   const sim::TimeNs base = allreduce_base_cost(coll_.algo, shape, net, costs);
+  const AllreduceAlgo algo =
+      coll_.algo == AllreduceAlgo::kAuto ? allreduce_pick(shape) : coll_.algo;
+  coll_stages_ += static_cast<std::uint64_t>(allreduce_stages(algo, shape));
 
   // Stall coupling: a rank stalled during (or just before) a blocking
   // collective stalls the whole dependency tree. Two regimes:
@@ -159,6 +162,7 @@ sim::TimeNs MpiWorld::collective_cost(sim::Bytes bytes) {
     const sim::TimeNs cap = coll_extremes_.max_cap();
     if (stalls_per_stall >= 1.0 && cap > stall) stall = cap;
   }
+  coll_stall_ += stall;
   return base + stall;
 }
 

@@ -79,6 +79,11 @@ class MpiWorld {
 
   // ------------------------------------------------------------ statistics
   [[nodiscard]] std::uint64_t allreduce_count() const { return allreduces_; }
+  /// Inter-node synchronization stages executed across all collectives
+  /// (noise-exposure points; kAuto is resolved per shape before counting).
+  [[nodiscard]] std::uint64_t collective_stage_count() const { return coll_stages_; }
+  /// Cumulative stall time the collectives absorbed from coupled noise.
+  [[nodiscard]] sim::TimeNs total_collective_stall() const { return coll_stall_; }
   [[nodiscard]] sim::TimeNs total_noise_wait() const { return noise_wait_; }
   [[nodiscard]] sim::TimeNs total_comm_time() const { return comm_time_; }
   [[nodiscard]] const ShmSetupResult& shm_setup() const { return shm_; }
@@ -148,6 +153,8 @@ class MpiWorld {
   bool trace_enabled_ = false;
   std::vector<SyncEvent> trace_;
   std::uint64_t allreduces_ = 0;
+  std::uint64_t coll_stages_ = 0;
+  sim::TimeNs coll_stall_{0};
   ShmSetupResult shm_;
 };
 

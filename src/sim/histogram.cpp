@@ -10,6 +10,7 @@ namespace mkos::sim {
 
 Histogram::Histogram(double min_value, double max_value, int bins_per_decade)
     : min_value_(min_value),
+      max_value_(max_value),
       log_min_(std::log10(min_value)),
       bins_per_decade_(bins_per_decade) {
   MKOS_EXPECTS(min_value > 0.0);
@@ -26,12 +27,27 @@ void Histogram::add(double v, std::uint64_t count) {
     underflow_ += count;
     return;
   }
-  const auto idx = static_cast<std::size_t>((std::log10(v) - log_min_) * bins_per_decade_);
+  auto idx = static_cast<std::size_t>((std::log10(v) - log_min_) * bins_per_decade_);
   if (idx >= counts_.size()) {
-    overflow_ += count;
-    return;
+    // A value at (or rounding onto) the declared upper bound is in range:
+    // clamp it into the top bin instead of miscounting it as overflow.
+    if (v > max_value_) {
+      overflow_ += count;
+      return;
+    }
+    idx = counts_.size() - 1;
   }
   counts_[idx] += count;
+}
+
+void Histogram::merge(const Histogram& other) {
+  MKOS_EXPECTS(counts_.size() == other.counts_.size());
+  MKOS_EXPECTS(min_value_ == other.min_value_);
+  MKOS_EXPECTS(bins_per_decade_ == other.bins_per_decade_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
 }
 
 double Histogram::bin_lower(std::size_t i) const {
@@ -42,16 +58,30 @@ double Histogram::quantile(double q) const {
   MKOS_EXPECTS(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return 0.0;
   const double target = q * static_cast<double>(total_);
+  const std::uint64_t binned = total_ - underflow_ - overflow_;
+  if (binned == 0) {
+    // No in-range mass at all. Saturate at the edge holding the requested
+    // mass; with pure overflow every quantile honestly reports the top edge
+    // (the true value lies above it — callers see overflow() alongside).
+    return (underflow_ > 0 && target <= static_cast<double>(underflow_))
+               ? min_value_
+               : bin_upper(counts_.size() - 1);
+  }
   double seen = static_cast<double>(underflow_);
   if (target <= seen) return min_value_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = seen + static_cast<double>(counts_[i]);
-    if (target <= next && counts_[i] > 0) {
+    if (target <= next) {
+      // An empty bin can only satisfy the target exactly at its boundary:
+      // resolve to the bin's lower edge (== upper edge of the last mass)
+      // instead of skipping ahead into a later bin.
+      if (counts_[i] == 0) return bin_lower(i);
       const double frac = (target - seen) / static_cast<double>(counts_[i]);
       return bin_lower(i) + frac * (bin_upper(i) - bin_lower(i));
     }
     seen = next;
   }
+  // The requested mass sits in the overflow tail: saturate at the top edge.
   return bin_upper(counts_.size() - 1);
 }
 

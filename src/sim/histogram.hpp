@@ -14,11 +14,17 @@ namespace mkos::sim {
 
 class Histogram {
  public:
-  /// Bins cover [min_value, max_value) with `bins_per_decade` log bins;
-  /// under/overflow are tracked separately.
+  /// Bins cover [min_value, max_value] with `bins_per_decade` log bins;
+  /// values outside the range are tracked as under/overflow. The top bin is
+  /// closed: add(max_value) lands in the last bin, not in overflow.
   Histogram(double min_value, double max_value, int bins_per_decade = 8);
 
   void add(double v, std::uint64_t count = 1);
+
+  /// Bin-wise accumulation of another histogram with the identical shape
+  /// (same min_value and bins_per_decade, same bin count). Commutative, so
+  /// positional merges of per-task histograms are order-independent.
+  void merge(const Histogram& other);
 
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
@@ -27,8 +33,12 @@ class Histogram {
   [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_[i]; }
   [[nodiscard]] double bin_lower(std::size_t i) const;
   [[nodiscard]] double bin_upper(std::size_t i) const { return bin_lower(i + 1); }
+  [[nodiscard]] double min_value() const { return min_value_; }
+  [[nodiscard]] double max_value() const { return max_value_; }
 
   /// Quantile estimate (linear within the containing log bin), q in [0,1].
+  /// Quantiles landing in the overflow tail saturate at the top bin edge —
+  /// report overflow() alongside to keep saturated values honest.
   [[nodiscard]] double quantile(double q) const;
 
   /// Compact ASCII rendering (one line per non-empty bin).
@@ -36,6 +46,7 @@ class Histogram {
 
  private:
   double min_value_;
+  double max_value_;
   double log_min_;
   double bins_per_decade_;
   std::vector<std::uint64_t> counts_;

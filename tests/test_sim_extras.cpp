@@ -52,6 +52,61 @@ TEST(Histogram, QuantilesApproximateTheDistribution) {
   EXPECT_GT(h.quantile(0.99), h.quantile(0.5) * 4);
 }
 
+// Regression: add(max_value) used to land in overflow — the top bin is a
+// closed interval, so a value at the declared upper bound is in range.
+TEST(Histogram, ValueAtUpperBoundLandsInTopBinNotOverflow) {
+  Histogram h{1.0, 1e3, 1};
+  h.add(1e3);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bin(h.bin_count() - 1), 1u);
+  h.add(1e3 * 1.0001);  // just past the bound still overflows
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+// Regression: a quantile target landing exactly on an empty bin's boundary
+// used to skip ahead into a later bin; it must resolve to the boundary.
+TEST(Histogram, QuantileResolvesEmptyBinsToTheirBoundary) {
+  Histogram h{1.0, 1e3, 1};  // bins [1,10) [10,100) [100,1000]
+  h.add(5.0);   // bin 0
+  h.add(500.0); // bin 2; bin 1 stays empty
+  // q=0.5 -> target = 1.0 = all of bin 0's mass: the boundary of empty
+  // bin 1, i.e. its lower edge (== upper edge of the last mass).
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  // Mass past the boundary interpolates inside bin 2, never inside bin 1.
+  EXPECT_GE(h.quantile(0.75), 100.0);
+}
+
+// Regression: an all-overflow histogram used to silently report the top
+// edge as if it were real mass; it still saturates there (the true value
+// lies above), but overflow() exposes the saturation to callers.
+TEST(Histogram, AllOverflowQuantileSaturatesAtTopEdge) {
+  Histogram h{1.0, 1e3, 1};
+  h.add(1e6, 10);
+  EXPECT_EQ(h.overflow(), h.total());
+  EXPECT_NEAR(h.quantile(0.5), 1e3, 1e-6);
+  EXPECT_NEAR(h.quantile(0.99), 1e3, 1e-6);
+}
+
+TEST(Histogram, AllUnderflowQuantileSaturatesAtMin) {
+  Histogram h{1.0, 1e3, 1};
+  h.add(0.001, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+}
+
+TEST(Histogram, MergeAddsBinWise) {
+  Histogram a{1.0, 1e3, 1};
+  Histogram b{1.0, 1e3, 1};
+  a.add(5.0, 2);
+  a.add(0.1);
+  b.add(5.0, 3);
+  b.add(1e6);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 7u);
+  EXPECT_EQ(a.bin(0), 5u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
 TEST(Histogram, ToStringRendersBars) {
   Histogram h{1.0, 100.0, 2};
   h.add(5.0, 10);

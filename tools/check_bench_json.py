@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json run ledgers emitted by mkos::obs::RunLedger.
+
+Checks that each file is strict JSON and conforms to the
+mkos.run_ledger.v1 schema: required header fields, section types, and
+value invariants (counters are non-negative integers, gauges are numbers
+or null, summaries/histograms carry their required keys).
+
+Usage:
+  check_bench_json.py FILE [FILE...]          validate; exit 1 on any failure
+  check_bench_json.py --strip-host FILE       print canonical JSON with the
+                                              host section removed (for
+                                              determinism diffs)
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_ID = "mkos.run_ledger.v1"
+SCHEMA_VERSION = 1
+SECTIONS = ("meta", "counters", "gauges", "summaries", "histograms", "host")
+
+SUMMARY_KEYS = {"count", "min", "max", "mean", "median", "p95", "stddev"}
+HISTOGRAM_KEYS = {"min_value", "max_value", "total", "underflow", "overflow", "bins"}
+
+
+def fail(path, msg):
+    raise ValueError(f"{path}: {msg}")
+
+
+def check_summary(path, name, s):
+    if not isinstance(s, dict):
+        fail(path, f"summary {name!r} is not an object")
+    if not isinstance(s.get("count"), int) or s["count"] < 0:
+        fail(path, f"summary {name!r} has bad count")
+    if s["count"] > 0 and not SUMMARY_KEYS.issubset(s):
+        fail(path, f"summary {name!r} missing keys {SUMMARY_KEYS - set(s)}")
+
+
+def check_histogram(path, name, h):
+    if not isinstance(h, dict):
+        fail(path, f"histogram {name!r} is not an object")
+    missing = HISTOGRAM_KEYS - set(h)
+    if missing:
+        fail(path, f"histogram {name!r} missing keys {missing}")
+    for k in ("total", "underflow", "overflow"):
+        if not isinstance(h[k], int) or h[k] < 0:
+            fail(path, f"histogram {name!r} has bad {k}")
+    if not isinstance(h["bins"], list):
+        fail(path, f"histogram {name!r} bins is not a list")
+    in_bins = 0
+    for b in h["bins"]:
+        if not (isinstance(b, list) and len(b) == 3):
+            fail(path, f"histogram {name!r} has malformed bin {b!r}")
+        lower, upper, count = b
+        if not (isinstance(count, int) and count > 0):
+            fail(path, f"histogram {name!r} has empty or negative bin {b!r}")
+        if not (isinstance(lower, (int, float)) and isinstance(upper, (int, float))
+                and lower < upper):
+            fail(path, f"histogram {name!r} has bad bin edges {b!r}")
+        in_bins += count
+    if in_bins + h["underflow"] + h["overflow"] != h["total"]:
+        fail(path, f"histogram {name!r} counts do not sum to total")
+
+
+def check_ledger(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema") != SCHEMA_ID:
+        fail(path, f"schema is {doc.get('schema')!r}, expected {SCHEMA_ID!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(path, f"schema_version is {doc.get('schema_version')!r}")
+    for sec in SECTIONS:
+        if not isinstance(doc.get(sec), dict):
+            fail(path, f"section {sec!r} missing or not an object")
+    unknown = set(doc) - set(SECTIONS) - {"schema", "schema_version"}
+    if unknown:
+        fail(path, f"unknown top-level keys {sorted(unknown)}")
+    for k, v in doc["meta"].items():
+        if not isinstance(v, str):
+            fail(path, f"meta {k!r} is not a string")
+    for k, v in doc["counters"].items():
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(path, f"counter {k!r} is not a non-negative integer")
+    for k, v in doc["gauges"].items():
+        if v is not None and (isinstance(v, bool) or not isinstance(v, (int, float))):
+            fail(path, f"gauge {k!r} is not a number or null")
+    for k, v in doc["summaries"].items():
+        check_summary(path, k, v)
+    for k, v in doc["histograms"].items():
+        check_histogram(path, k, v)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+")
+    ap.add_argument("--strip-host", action="store_true",
+                    help="print canonical JSON without the host section")
+    args = ap.parse_args()
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            check_ledger(path, doc)
+        except (OSError, ValueError) as e:
+            print(f"FAIL {e}", file=sys.stderr)
+            status = 1
+            continue
+        if args.strip_host:
+            doc.pop("host", None)
+            print(json.dumps(doc, indent=1, sort_keys=True))
+        else:
+            print(f"ok   {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
