@@ -34,4 +34,6 @@ mkos_add_bench(isolation)
 mkos_add_bench(design_space)
 mkos_add_bench(phase_breakdown)
 mkos_add_bench(syscall_matrix)
+mkos_add_bench(hotpath_sampling)
+mkos_add_bench(perf_smoke)
 mkos_add_gbench(micro_substrates)

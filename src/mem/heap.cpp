@@ -70,7 +70,25 @@ FaultBill fault_in(PhysMemory& phys, const MemCostModel& cost,
   return bill;
 }
 
+/// Order-sensitive 64-bit hash combiner for state fingerprints.
+std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
 }  // namespace
+
+void HeapEngine::replay_cycle(const HeapStats& before, const HeapStats& after) {
+  MKOS_EXPECTS(after.current == before.current);
+  MKOS_EXPECTS(after.max_break == before.max_break);
+  stats_.queries += after.queries - before.queries;
+  stats_.grows += after.grows - before.grows;
+  stats_.shrinks += after.shrinks - before.shrinks;
+  stats_.cum_growth += after.cum_growth - before.cum_growth;
+  stats_.faults += after.faults - before.faults;
+  stats_.zeroed += after.zeroed - before.zeroed;
+}
 
 // ---------------------------------------------------------------- LinuxHeap
 
@@ -115,6 +133,21 @@ sim::TimeNs LinuxHeap::touch_new(int concurrent_faulters) {
   stats_.faults += bill.faults;
   stats_.zeroed += bill.zeroed;
   return bill.cost;
+}
+
+// Deliberately O(1): no walk over extents or placement chunks. The scalars
+// below determine how many bytes a cycle faults, tears down, or zeroes —
+// per-byte costs are domain-independent, so the chunk composition (which
+// quadrant's domain backs which byte) never enters a cycle's price and can
+// legitimately differ between lanes the fast path treats as identical.
+std::uint64_t LinuxHeap::state_fingerprint() const {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // class tag
+  h = fp_mix(h, stats_.current);
+  h = fp_mix(h, stats_.max_break);
+  h = fp_mix(h, static_cast<std::uint64_t>(policy_.mode));
+  for (const auto d : policy_.domains) h = fp_mix(h, static_cast<std::uint64_t>(d));
+  h = fp_mix(h, extents_.size());
+  return fp_mix(h, placement_.total());
 }
 
 // ------------------------------------------------------------------ LwkHeap
@@ -211,6 +244,16 @@ sim::TimeNs LwkHeap::touch_new(int concurrent_faulters) {
   backed_ += bill.backed;
   untouched_ = 0;
   return bill.cost;
+}
+
+std::uint64_t LwkHeap::state_fingerprint() const {
+  std::uint64_t h = 0x13198a2e03707344ULL;  // class tag
+  h = fp_mix(h, stats_.current);
+  h = fp_mix(h, stats_.max_break);
+  h = fp_mix(h, backed_);
+  h = fp_mix(h, untouched_);
+  h = fp_mix(h, extents_.size());
+  return fp_mix(h, placement_.total());
 }
 
 }  // namespace mkos::mem

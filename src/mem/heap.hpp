@@ -55,6 +55,22 @@ class HeapEngine {
   /// place subsequent faults accordingly. Default: ignored.
   virtual void set_policy(const MemPolicy& policy) { (void)policy; }
 
+  /// O(1) hash of the cost-relevant heap state: break offset, backing
+  /// volume and policy — the scalars that determine how many bytes a future
+  /// sbrk()/touch_new() moves (per-byte costs are domain-independent, so
+  /// the placement's chunk composition never enters the price). Monotone
+  /// counters (queries, faults, cum_growth, ...) are deliberately excluded
+  /// so that a brk cycle which restores the heap shape maps to the same
+  /// fingerprint. Used by the symmetric-lane fast path in
+  /// MpiWorld::heap_cycle to detect lanes in identical states.
+  [[nodiscard]] virtual std::uint64_t state_fingerprint() const = 0;
+
+  /// Replay the counter deltas of a simulated representative cycle onto this
+  /// engine without re-simulating it. Precondition (checked): the cycle left
+  /// the representative's state untouched (current/max_break unchanged), so
+  /// only monotone counters advance.
+  void replay_cycle(const HeapStats& before, const HeapStats& after);
+
   [[nodiscard]] const HeapStats& stats() const { return stats_; }
 
  protected:
@@ -70,6 +86,7 @@ class LinuxHeap final : public HeapEngine {
   sim::TimeNs sbrk(std::int64_t delta) override;
   sim::TimeNs touch_new(int concurrent_faulters) override;
   void set_policy(const MemPolicy& policy) override { policy_ = policy; }
+  [[nodiscard]] std::uint64_t state_fingerprint() const override;
 
   /// Physically backed (faulted-in) heap bytes.
   [[nodiscard]] sim::Bytes backed() const { return placement_.total(); }
@@ -103,6 +120,7 @@ class LwkHeap final : public HeapEngine {
 
   sim::TimeNs sbrk(std::int64_t delta) override;
   sim::TimeNs touch_new(int concurrent_faulters) override;
+  [[nodiscard]] std::uint64_t state_fingerprint() const override;
 
   [[nodiscard]] const LwkHeapOptions& options() const { return options_; }
   /// Physically backed extent of the heap (>= stats().current in HPC mode).

@@ -18,6 +18,23 @@ sim::Bytes DomainAllocator::largest_free_extent() const {
   return best;
 }
 
+std::uint64_t DomainAllocator::state_fingerprint() const {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return h ^ (h >> 31);
+  };
+  std::uint64_t h = mix(0x452821e638d01377ULL, free_bytes_);
+  h = mix(h, free_.size());
+  if (!free_.empty()) {
+    h = mix(h, free_.begin()->first);
+    h = mix(h, free_.begin()->second);
+    h = mix(h, free_.rbegin()->first);
+    h = mix(h, free_.rbegin()->second);
+  }
+  return h;
+}
+
 std::optional<Extent> DomainAllocator::alloc_contiguous(sim::Bytes length, sim::Bytes align) {
   MKOS_EXPECTS(length > 0);
   MKOS_EXPECTS(align > 0 && (align & (align - 1)) == 0);

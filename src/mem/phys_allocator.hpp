@@ -60,6 +60,12 @@ class DomainAllocator {
   /// Number of distinct free extents (fragmentation indicator).
   [[nodiscard]] std::size_t free_extent_count() const { return free_.size(); }
 
+  /// O(1) hash of the free-map state (volume, extent count, boundary
+  /// extents). A sequence of allocations exactly undone by frees maps back
+  /// to the same fingerprint; used by the symmetric-lane heap fast path to
+  /// verify a brk cycle left the allocator where it found it.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
  private:
   void insert_free(sim::Bytes start, sim::Bytes length);
 

@@ -63,6 +63,23 @@ void record_world(RunLedger& ledger, const runtime::MpiWorld& world) {
       if (ev.noise.ns() > 0) h.add(ev.noise.us());
     }
   }
+  // Sampling-engine telemetry: fast-path hits, analytic-vs-exact draw split,
+  // cost-cache effectiveness. Deterministic per seed (no wall-clock inputs),
+  // so these live alongside the runtime counters, not in the host block.
+  const runtime::MpiWorld::EngineCounters& e = world.engine_counters();
+  ledger.incr("engine.heap_fast_lanes", e.heap_fast_lanes);
+  ledger.incr("engine.heap_slow_lanes", e.heap_slow_lanes);
+  ledger.incr("engine.compute_uniform_fast", e.compute_uniform_fast);
+  ledger.incr("engine.compute_lane_loops", e.compute_lane_loops);
+  ledger.incr("engine.coll_cache_hits", e.coll_cache_hits);
+  ledger.incr("engine.coll_cache_misses", e.coll_cache_misses);
+  ledger.incr("engine.msg_cache_hits", e.msg_cache_hits);
+  ledger.incr("engine.msg_cache_misses", e.msg_cache_misses);
+  const kernel::SampleCounters& n = world.noise_counters();
+  ledger.incr("engine.noise_analytic_sums", n.analytic_sums);
+  ledger.incr("engine.noise_exact_events", n.exact_events);
+  ledger.incr("engine.noise_analytic_maxima", n.analytic_maxima);
+  ledger.incr("engine.noise_gumbel_draws", n.gumbel_draws);
 }
 
 void record_job(RunLedger& ledger, runtime::Job& job) {

@@ -8,55 +8,27 @@
 namespace mkos::runtime {
 
 namespace {
-constexpr std::uint64_t kMomentSamples = 8192;
-constexpr double kRareEventThreshold = 2048.0;  ///< expected events across job
+/// Below this expected per-core event count the per-core stolen sums are
+/// nowhere near normal (most cores see zero events), so the Gumbel-located
+/// normal maximum would badly underestimate the true max; the exact
+/// event-maximum draw is used instead. Now that the maximum of n draws is a
+/// single inverse-CDF evaluation, the exact path is O(1) at any event count
+/// — the old cap on total events across the job (it priced an O(n) loop) is
+/// kept only as a lower bound that preserves its behaviour for small jobs.
+constexpr double kSparsePerCore = 1.0;           ///< expected events per core
+constexpr double kRareEventThreshold = 2048.0;   ///< expected events across job
 }  // namespace
-
-double NoiseExtremes::draw_duration(const kernel::NoiseComponent& c, sim::Rng& rng) {
-  double d;
-  switch (c.dist) {
-    case kernel::NoiseComponent::Dist::kFixed:
-      d = static_cast<double>(c.duration.ns());
-      break;
-    case kernel::NoiseComponent::Dist::kExponential:
-      d = rng.exponential(static_cast<double>(c.duration.ns()));
-      break;
-    case kernel::NoiseComponent::Dist::kPareto:
-      d = rng.pareto(static_cast<double>(c.duration.ns()), c.pareto_alpha);
-      break;
-    default:
-      d = 0.0;
-  }
-  if (c.cap.ns() > 0) d = std::min(d, static_cast<double>(c.cap.ns()));
-  return d;
-}
 
 NoiseExtremes::NoiseExtremes(kernel::NoiseModel model) : model_(std::move(model)) {
   moments_.reserve(model_.components().size());
-  sim::Rng rng{0x9d0e5eedcafef00dULL};  // fixed: moments are model constants
   for (const auto& c : model_.components()) {
-    double sum = 0.0;
-    double sum2 = 0.0;
-    if (c.dist == kernel::NoiseComponent::Dist::kFixed) {
-      sum = static_cast<double>(c.duration.ns()) * kMomentSamples;
-      sum2 = static_cast<double>(c.duration.ns()) * static_cast<double>(c.duration.ns()) *
-             kMomentSamples;
-    } else {
-      for (std::uint64_t i = 0; i < kMomentSamples; ++i) {
-        const double d = draw_duration(c, rng);
-        sum += d;
-        sum2 += d * d;
-      }
-    }
-    moments_.push_back(Moments{c.rate_hz, sum / kMomentSamples, sum2 / kMomentSamples});
+    const kernel::ComponentMoments m = kernel::component_moments(c);
+    moments_.push_back(Moments{c.rate_hz, m.m1_ns, m.m2_ns2});
+    rate_mean_sum_ += c.rate_hz * m.m1_ns;
   }
 }
 
-double NoiseExtremes::mean_fraction() const {
-  double f = 0.0;
-  for (const auto& m : moments_) f += m.rate_hz * m.mean_ns * 1e-9;
-  return f;
-}
+double NoiseExtremes::mean_fraction() const { return rate_mean_sum_ * 1e-9; }
 
 double NoiseExtremes::total_rate_hz() const {
   double r = 0.0;
@@ -67,9 +39,7 @@ double NoiseExtremes::total_rate_hz() const {
 double NoiseExtremes::mean_duration_s() const {
   const double r = total_rate_hz();
   if (r <= 0.0) return 0.0;
-  double weighted = 0.0;
-  for (const auto& m : moments_) weighted += m.rate_hz * m.mean_ns;
-  return weighted / r * 1e-9;
+  return rate_mean_sum_ / r * 1e-9;
 }
 
 sim::TimeNs NoiseExtremes::max_cap() const {
@@ -82,40 +52,37 @@ sim::TimeNs NoiseExtremes::max_cap() const {
 }
 
 NoiseWindow NoiseExtremes::sample(sim::TimeNs span, std::uint64_t cores,
-                                  sim::Rng& rng) const {
+                                  sim::Rng& rng,
+                                  kernel::SampleCounters* counters) const {
   MKOS_EXPECTS(span >= sim::TimeNs{0});
   MKOS_EXPECTS(cores >= 1);
   if (span.ns() == 0) return {};
 
   const double span_s = span.sec();
   const auto& comps = model_.components();
+  const double mean_total = rate_mean_sum_ * span_s;
 
-  // Pass 1: per-core expectations.
-  std::vector<double> comp_means(comps.size());
-  double mean_total = 0.0;
-  for (std::size_t ci = 0; ci < comps.size(); ++ci) {
-    comp_means[ci] = moments_[ci].rate_hz * span_s * moments_[ci].mean_ns;
-    mean_total += comp_means[ci];
-  }
-
-  // Pass 2: maxima.
   double max_total = 0.0;
   for (std::size_t ci = 0; ci < comps.size(); ++ci) {
     const auto& c = comps[ci];
     const auto& m = moments_[ci];
     const double lambda_core = m.rate_hz * span_s;       // events per core
     const double lambda_total = lambda_core * static_cast<double>(cores);
-    const double comp_mean = comp_means[ci];
+    const double comp_mean = lambda_core * m.mean_ns;
 
     double comp_max;
-    if (lambda_total <= kRareEventThreshold) {
-      // Rare: enumerate the events that actually happen across the job.
+    if (lambda_core <= kSparsePerCore || lambda_total <= kRareEventThreshold) {
+      // Sparse: almost every core sees 0 or 1 events, so the maximum over
+      // cores is the maximum over the events themselves. Count the events
+      // that actually happen across the job, then draw their maximum
+      // directly (inverse CDF at U^(1/n)).
       const std::uint64_t n = rng.poisson(lambda_total);
-      double largest = 0.0;
-      for (std::uint64_t i = 0; i < n; ++i) {
-        largest = std::max(largest, draw_duration(c, rng));
+      if (n == 0) {
+        comp_max = 0.0;
+      } else {
+        comp_max = kernel::sample_component_max_ns(c, n, rng);
+        if (counters != nullptr) ++counters->analytic_maxima;
       }
-      comp_max = largest;
     } else {
       // Frequent: per-core sum ~ Normal(mu, sigma^2); Gumbel-located max.
       const double mu = comp_mean;
@@ -129,6 +96,7 @@ NoiseWindow NoiseExtremes::sample(sim::TimeNs span, std::uint64_t cores,
       const double gumbel = -std::log(-std::log(u));
       comp_max = mu + sigma * (a + (gumbel - (std::log(ln_c) + std::log(12.566370614)) / 2.0 / a));
       comp_max = std::max(comp_max, mu);
+      if (counters != nullptr) ++counters->gumbel_draws;
     }
     // Combining components: the slowest core for one component very likely
     // carries only the mean of the others.

@@ -8,14 +8,17 @@
 //
 // Sampling every core individually would cost O(cores) per phase (131,072
 // ranks x thousands of phases). Instead, per noise component:
-//   * rare components (expected events across the job below a threshold):
-//     draw the actual number of events N ~ Poisson(total rate) and take the
-//     maximum of N duration draws — exact in distribution for per-core
-//     event counts << 1;
-//   * frequent components: the per-core stolen sum is approximately normal
-//     (CLT over many small detours); the maximum over C cores follows a
-//     Gumbel law around mu + sigma * sqrt(2 ln C).
-// Component moments are estimated once by Monte Carlo and cached.
+//   * sparse components (expected events *per core* at most ~1, where most
+//     cores see zero events and the max over cores is the max over events):
+//     draw the actual number of events N ~ Poisson(total rate), then the
+//     maximum of the N durations as a single inverse-CDF draw at U^(1/N) —
+//     exact in distribution, one uniform instead of N full draws;
+//   * frequent components (events per core well above 1): the per-core
+//     stolen sum is approximately normal (CLT over many small detours); the
+//     maximum over C cores follows a Gumbel law around
+//     mu + sigma * sqrt(2 ln C).
+// Component moments are closed-form (kernel::component_moments) — nothing is
+// estimated by Monte Carlo.
 
 #include <cstdint>
 
@@ -35,9 +38,11 @@ class NoiseExtremes {
   explicit NoiseExtremes(kernel::NoiseModel model);
 
   /// Stolen-time statistics for one synchronized window of length `span`
-  /// across `cores` application cores.
+  /// across `cores` application cores. `counters`, when non-null, tallies
+  /// which sampling paths fired (run-ledger `engine` group).
   [[nodiscard]] NoiseWindow sample(sim::TimeNs span, std::uint64_t cores,
-                                   sim::Rng& rng) const;
+                                   sim::Rng& rng,
+                                   kernel::SampleCounters* counters = nullptr) const;
 
   /// Expected stolen fraction (mirror of NoiseModel::expected_fraction()).
   [[nodiscard]] double mean_fraction() const;
@@ -52,15 +57,13 @@ class NoiseExtremes {
  private:
   struct Moments {
     double rate_hz;
-    double mean_ns;   ///< E[duration]
-    double m2_ns2;    ///< E[duration^2]
+    double mean_ns;   ///< E[min(duration, cap)]
+    double m2_ns2;    ///< E[min(duration, cap)^2]
   };
-
-  [[nodiscard]] static double draw_duration(const kernel::NoiseComponent& c,
-                                            sim::Rng& rng);
 
   kernel::NoiseModel model_;  ///< owned copy — callers may pass temporaries
   std::vector<Moments> moments_;
+  double rate_mean_sum_ = 0.0;  ///< sum of rate_hz * mean_ns (hoisted)
 };
 
 }  // namespace mkos::runtime

@@ -7,22 +7,68 @@
 
 namespace mkos::runtime {
 
+namespace {
+
+/// Cost caches stay this small; past it, recompute (deterministically).
+constexpr std::size_t kCostCacheCap = 64;
+
+std::uint64_t phys_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+/// Fingerprint of the shared physical-memory state the heap cost model can
+/// observe: per-domain free volume and free-map shape (each domain's own
+/// O(1) fingerprint). A brk cycle that is net-neutral against this
+/// fingerprint left the allocator where it found it, so an identical lane
+/// replays to identical costs.
+std::uint64_t phys_fingerprint(const mem::PhysMemory& phys) {
+  std::uint64_t h = 0x082efa98ec4e6c89ULL;
+  for (int d = 0; d < phys.domain_count(); ++d) {
+    h = phys_mix(h, phys.domain(static_cast<hw::DomainId>(d)).state_fingerprint());
+  }
+  return h;
+}
+
+}  // namespace
+
 MpiWorld::MpiWorld(Job& job, std::uint64_t noise_seed)
     : job_(job),
       extremes_(job.kernel().noise()),
       coll_extremes_(job.kernel().collective_noise()),
       rng_(noise_seed) {
   lane_pending_.assign(static_cast<std::size_t>(job.lane_count()), sim::TimeNs{0});
+  const auto& net = job_.machine().cluster.network();
+  // Average hop count for a random peer — constant for the job's node count,
+  // so computed once instead of on every halo/shift message.
+  avg_hops_ = net.hop_count(0, std::max(1, job_.spec().nodes / 2), job_.spec().nodes);
   refresh_lanes();
 }
 
 void MpiWorld::refresh_lanes() {
   lane_gbps_.resize(static_cast<std::size_t>(job_.lane_count()));
+  if (job_.lane_count() == 0) {
+    // No lanes: nothing to min over — leave a safe, recognizable default
+    // rather than the +inf-like scan sentinel.
+    min_lane_gbps_ = 0.0;
+    lanes_uniform_ = true;
+    return;
+  }
   min_lane_gbps_ = 1e30;
+  lanes_uniform_ = true;
   for (int i = 0; i < job_.lane_count(); ++i) {
     lane_gbps_[static_cast<std::size_t>(i)] = job_.lane_effective_gbps(i);
     min_lane_gbps_ = std::min(min_lane_gbps_, lane_gbps_[static_cast<std::size_t>(i)]);
+    if (lane_gbps_[static_cast<std::size_t>(i)] != lane_gbps_[0]) lanes_uniform_ = false;
   }
+  MKOS_ENSURES(min_lane_gbps_ > 0.0 && min_lane_gbps_ < 1e30);
+}
+
+void MpiWorld::set_fast_paths(bool on) {
+  fast_paths_ = on;
+  coll_cache_.clear();
+  msg_cache_.clear();
 }
 
 void MpiWorld::mpi_init(sim::Bytes shm_segment_bytes) {
@@ -37,6 +83,18 @@ std::uint64_t MpiWorld::global_cores() const {
 }
 
 void MpiWorld::compute_bytes(sim::Bytes bytes_per_rank) {
+  if (lane_pending_.empty()) return;
+  if (fast_paths_ && lanes_uniform_) {
+    // Every lane gets the same increment, so the per-sync maximum shifts by
+    // exactly that increment: fold it into the uniform accumulator. The ns
+    // expression matches the per-lane one bit-for-bit (same operands).
+    const double ns =
+        static_cast<double>(bytes_per_rank) / (min_lane_gbps_ * 1e9) * 1e9;
+    pending_uniform_ += sim::from_double_ns(ns);
+    ++engine_.compute_uniform_fast;
+    return;
+  }
+  ++engine_.compute_lane_loops;
   for (std::size_t i = 0; i < lane_pending_.size(); ++i) {
     const double ns = static_cast<double>(bytes_per_rank) / (lane_gbps_[i] * 1e9) * 1e9;
     lane_pending_[i] += sim::from_double_ns(ns);
@@ -46,6 +104,31 @@ void MpiWorld::compute_bytes(sim::Bytes bytes_per_rank) {
 void MpiWorld::compute_bytes_scaled(sim::Bytes bytes_per_rank,
                                     const std::vector<double>& lane_scale) {
   MKOS_EXPECTS(!lane_scale.empty());
+  if (lane_pending_.empty()) return;
+  if (fast_paths_ && lanes_uniform_) {
+    const bool flat =
+        std::all_of(lane_scale.begin(), lane_scale.end(),
+                    [&](double s) { return s == lane_scale[0]; });
+    if (flat) {
+      const double scaled = static_cast<double>(bytes_per_rank) * lane_scale[0];
+      pending_uniform_ += sim::from_double_ns(scaled / (min_lane_gbps_ * 1e9) * 1e9);
+      ++engine_.compute_uniform_fast;
+      return;
+    }
+    // Uniform bandwidth, non-flat scale: one division per distinct scale
+    // entry instead of one per lane.
+    std::vector<sim::TimeNs> per_scale(lane_scale.size());
+    for (std::size_t j = 0; j < lane_scale.size(); ++j) {
+      const double scaled = static_cast<double>(bytes_per_rank) * lane_scale[j];
+      per_scale[j] = sim::from_double_ns(scaled / (min_lane_gbps_ * 1e9) * 1e9);
+    }
+    ++engine_.compute_lane_loops;
+    for (std::size_t i = 0; i < lane_pending_.size(); ++i) {
+      lane_pending_[i] += per_scale[i % per_scale.size()];
+    }
+    return;
+  }
+  ++engine_.compute_lane_loops;
   for (std::size_t i = 0; i < lane_pending_.size(); ++i) {
     const double scaled =
         static_cast<double>(bytes_per_rank) * lane_scale[i % lane_scale.size()];
@@ -73,12 +156,64 @@ void MpiWorld::syscall(kernel::Sys s, int count_per_rank, sim::Bytes payload) {
 
 void MpiWorld::heap_cycle(std::span<const std::int64_t> deltas) {
   kernel::Kernel& k = job_.kernel();
+  const int lanes = job_.lane_count();
+  if (lanes == 0 || deltas.empty()) return;
   // Heap faults of distinct rank processes contend only on the per-domain
   // zone allocator, not on a shared mmap_sem (unlike the shm segment), so
   // the effective concurrency in the fault handler is a fraction of the
   // rank count.
-  const int faulters = 1 + job_.lane_count() / 8;
-  for (int i = 0; i < job_.lane_count(); ++i) {
+  const int faulters = 1 + lanes / 8;
+
+  // Symmetric-lane detection: in the common SPMD steady state every lane's
+  // heap is in the same (cost-relevant) state, so one representative cycle
+  // prices all of them.
+  bool symmetric = fast_paths_ && lanes > 1;
+  std::uint64_t fp0 = 0;
+  if (symmetric) {
+    fp0 = job_.lane(0).heap()->state_fingerprint();
+    for (int i = 1; symmetric && i < lanes; ++i) {
+      symmetric = job_.lane(i).heap()->state_fingerprint() == fp0;
+    }
+  }
+  const std::uint64_t phys_before = symmetric ? phys_fingerprint(k.phys()) : 0;
+  const mem::HeapStats stats_before = job_.lane(0).heap()->stats();
+
+  // Simulate lane 0 — representative if symmetric, first of the loop if not.
+  sim::TimeNs cost0{0};
+  {
+    kernel::Process& p = job_.lane(0);
+    for (const std::int64_t d : deltas) {
+      const auto r = k.sys_brk(p, d);
+      cost0 += r.cost;
+      if (d > 0) cost0 += k.heap_touch(p, faulters);
+    }
+    lane_pending_[0] += cost0;
+  }
+  ++engine_.heap_slow_lanes;
+
+  // Replay is exact only if the cycle was state-neutral: the representative's
+  // heap returned to its pre-cycle fingerprint AND the shared physical
+  // allocator is back where it started. Then every remaining lane starts
+  // from the same heap scalars, moves the same byte counts through per-byte
+  // costs that never depend on which domain supplies the pages, and — when
+  // the cycle did engage the allocator — returns everything it drew, so the
+  // restored free maps serve every lane the same total. The replicated cost
+  // and counter deltas are therefore exact, not approximate.
+  const mem::HeapStats& stats_after = job_.lane(0).heap()->stats();
+  if (symmetric && job_.lane(0).heap()->state_fingerprint() == fp0 &&
+      phys_fingerprint(k.phys()) == phys_before) {
+    for (int i = 1; i < lanes; ++i) {
+      job_.lane(i).heap()->replay_cycle(stats_before, stats_after);
+      lane_pending_[static_cast<std::size_t>(i)] += cost0;
+    }
+    k.note_replayed_local_calls(static_cast<std::uint64_t>(deltas.size()) *
+                                static_cast<std::uint64_t>(lanes - 1));
+    engine_.heap_fast_lanes += static_cast<std::uint64_t>(lanes - 1);
+    return;
+  }
+
+  engine_.heap_slow_lanes += static_cast<std::uint64_t>(lanes - 1);
+  for (int i = 1; i < lanes; ++i) {
     kernel::Process& p = job_.lane(i);
     sim::TimeNs cost{0};
     for (const std::int64_t d : deltas) {
@@ -100,7 +235,8 @@ void MpiWorld::synchronize(std::uint64_t sync_cores, sim::TimeNs comm, SyncKind 
   span += max_lane;
   pending_uniform_ = sim::TimeNs{0};
 
-  const NoiseWindow w = extremes_.sample(span, std::max<std::uint64_t>(sync_cores, 1), rng_);
+  const NoiseWindow w = extremes_.sample(span, std::max<std::uint64_t>(sync_cores, 1),
+                                         rng_, &noise_counters_);
   clock_ += span + w.max + comm;
   compute_time_ += span;
   noise_wait_ += w.max;
@@ -108,15 +244,25 @@ void MpiWorld::synchronize(std::uint64_t sync_cores, sim::TimeNs comm, SyncKind 
   if (trace_enabled_) trace_.push_back(SyncEvent{kind, span, w.max, comm, clock_});
 }
 
-sim::TimeNs MpiWorld::message_cost(sim::Bytes bytes) const {
+sim::TimeNs MpiWorld::message_cost(sim::Bytes bytes) {
+  if (fast_paths_) {
+    for (const auto& e : msg_cache_) {
+      if (e.bytes == bytes) {
+        ++engine_.msg_cache_hits;
+        return e.cost;
+      }
+    }
+  }
   const auto& net = job_.machine().cluster.network();
   const kernel::Kernel& k = job_.kernel();
-  // Average hop count for a random peer.
-  const int hops = net.hop_count(0, std::max(1, job_.spec().nodes / 2), job_.spec().nodes);
-  sim::TimeNs t = net.wire_time(bytes, hops).scaled(1.0 / k.network_bw_factor());
+  sim::TimeNs t = net.wire_time(bytes, avg_hops_).scaled(1.0 / k.network_bw_factor());
   // Kernel involvement on the send path (hfi1 device-file writes).
   if (net.kernel_involved_ops > 0.0) {
     t += k.network_syscall_overhead().scaled(net.kernel_involved_ops);
+  }
+  if (fast_paths_) {
+    ++engine_.msg_cache_misses;
+    if (msg_cache_.size() < kCostCacheCap) msg_cache_.push_back(MsgCacheEntry{bytes, t});
   }
   return t;
 }
@@ -125,19 +271,49 @@ sim::TimeNs MpiWorld::collective_cost(sim::Bytes bytes) {
   const auto& net = job_.machine().cluster.network();
   const kernel::Kernel& k = job_.kernel();
 
-  CollectiveShape shape{job_.spec().nodes, job_.spec().ranks_per_node, bytes};
-  CollectiveCosts costs;
-  costs.intra_stage = coll_.intra_stage;
-  costs.software_stage = coll_.software_stage;
-  costs.bandwidth_factor = k.network_bw_factor();
-  if (net.kernel_involved_ops > 0.0) {
-    costs.kernel_overhead_per_msg =
-        k.network_syscall_overhead().scaled(net.kernel_involved_ops);
+  // The stage schedule and base cost depend only on (model, shape, bytes);
+  // shape and the kernel/network factors are fixed for the world's lifetime,
+  // so memoize on bytes and invalidate if the model constants are retuned.
+  sim::TimeNs base{0};
+  std::uint64_t stages = 0;
+  bool have = false;
+  if (fast_paths_) {
+    if (!(coll_cache_model_ == coll_)) {
+      coll_cache_.clear();
+      coll_cache_model_ = coll_;
+    }
+    for (const auto& e : coll_cache_) {
+      if (e.bytes == bytes) {
+        base = e.base;
+        stages = e.stages;
+        have = true;
+        ++engine_.coll_cache_hits;
+        break;
+      }
+    }
   }
-  const sim::TimeNs base = allreduce_base_cost(coll_.algo, shape, net, costs);
-  const AllreduceAlgo algo =
-      coll_.algo == AllreduceAlgo::kAuto ? allreduce_pick(shape) : coll_.algo;
-  coll_stages_ += static_cast<std::uint64_t>(allreduce_stages(algo, shape));
+  if (!have) {
+    CollectiveShape shape{job_.spec().nodes, job_.spec().ranks_per_node, bytes};
+    CollectiveCosts costs;
+    costs.intra_stage = coll_.intra_stage;
+    costs.software_stage = coll_.software_stage;
+    costs.bandwidth_factor = k.network_bw_factor();
+    if (net.kernel_involved_ops > 0.0) {
+      costs.kernel_overhead_per_msg =
+          k.network_syscall_overhead().scaled(net.kernel_involved_ops);
+    }
+    base = allreduce_base_cost(coll_.algo, shape, net, costs);
+    const AllreduceAlgo algo =
+        coll_.algo == AllreduceAlgo::kAuto ? allreduce_pick(shape) : coll_.algo;
+    stages = static_cast<std::uint64_t>(allreduce_stages(algo, shape));
+    if (fast_paths_) {
+      ++engine_.coll_cache_misses;
+      if (coll_cache_.size() < kCostCacheCap) {
+        coll_cache_.push_back(CollCacheEntry{bytes, base, stages});
+      }
+    }
+  }
+  coll_stages_ += stages;
 
   // Stall coupling: a rank stalled during (or just before) a blocking
   // collective stalls the whole dependency tree. Two regimes:
@@ -151,7 +327,7 @@ sim::TimeNs MpiWorld::collective_cost(sim::Bytes bytes) {
   //     collective-noise model is empty, so they never enter it.
   const std::uint64_t cores = global_cores();
   const sim::TimeNs exposure = base + coll_.stall_exposure;
-  sim::TimeNs stall = coll_extremes_.sample(exposure, cores, rng_).max;
+  sim::TimeNs stall = coll_extremes_.sample(exposure, cores, rng_, &noise_counters_).max;
   // A genuine stall event (not the sub-event mean floor of the sampler)
   // is on the scale of the component's mean duration.
   const double event_scale_ns = coll_extremes_.mean_duration_s() * 1e9 * 0.1;

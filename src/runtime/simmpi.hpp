@@ -97,8 +97,33 @@ class MpiWorld {
     sim::TimeNs stall_exposure{sim::microseconds(200)};
     /// Allreduce algorithm (kAuto = size-based, like production MPI).
     AllreduceAlgo algo = AllreduceAlgo::kAuto;
+
+    friend bool operator==(const CollectiveModel&, const CollectiveModel&) = default;
   };
   [[nodiscard]] CollectiveModel& collective_model() { return coll_; }
+
+  // ------------------------------------------------------- sampling engine
+  /// Fast-path / cache hit counters of the hot-path sampling engine. Pure
+  /// functions of the inputs (no wall-clock, no allocator addresses), so
+  /// they live in the deterministic block of the run ledger.
+  struct EngineCounters {
+    std::uint64_t heap_fast_lanes = 0;    ///< lanes satisfied by cycle replay
+    std::uint64_t heap_slow_lanes = 0;    ///< lanes simulated call-by-call
+    std::uint64_t compute_uniform_fast = 0;  ///< compute ops folded to uniform
+    std::uint64_t compute_lane_loops = 0;    ///< compute ops walked per lane
+    std::uint64_t coll_cache_hits = 0;    ///< collective base-cost cache hits
+    std::uint64_t coll_cache_misses = 0;
+    std::uint64_t msg_cache_hits = 0;     ///< point-to-point cost cache hits
+    std::uint64_t msg_cache_misses = 0;
+  };
+  [[nodiscard]] const EngineCounters& engine_counters() const { return engine_; }
+  /// Analytic-vs-exact draw tallies of the noise samplers for this world.
+  [[nodiscard]] const kernel::SampleCounters& noise_counters() const {
+    return noise_counters_;
+  }
+  /// Disable (or re-enable) every fast path and cost cache; the slow paths
+  /// must produce bit-identical clocks — benches and tests verify this.
+  void set_fast_paths(bool on);
 
   /// Where the slowest rank's time went (telemetry for reports/benches).
   struct PhaseBreakdown {
@@ -130,7 +155,7 @@ class MpiWorld {
   /// Close the pending window against `sync_cores`, then add `comm`.
   void synchronize(std::uint64_t sync_cores, sim::TimeNs comm,
                    SyncKind kind = SyncKind::kHalo);
-  [[nodiscard]] sim::TimeNs message_cost(sim::Bytes bytes) const;
+  [[nodiscard]] sim::TimeNs message_cost(sim::Bytes bytes);
   [[nodiscard]] sim::TimeNs collective_cost(sim::Bytes bytes);
 
   Job& job_;
@@ -141,6 +166,28 @@ class MpiWorld {
 
   std::vector<double> lane_gbps_;
   double min_lane_gbps_ = 0.0;
+  bool lanes_uniform_ = false;  ///< all lanes share one effective bandwidth
+  int avg_hops_ = 1;            ///< hop count of the average peer (hoisted)
+
+  bool fast_paths_ = true;
+  EngineCounters engine_;
+  kernel::SampleCounters noise_counters_;
+  /// Memoized cost-model outputs, keyed by message size — the only input
+  /// that varies within a run (shape, network, kernel factors are fixed).
+  /// Small linear-scan vectors: apps use a handful of distinct sizes, and
+  /// iteration order stays deterministic.
+  struct CollCacheEntry {
+    sim::Bytes bytes;
+    sim::TimeNs base;
+    std::uint64_t stages;
+  };
+  std::vector<CollCacheEntry> coll_cache_;
+  CollectiveModel coll_cache_model_;  ///< model the cache was built against
+  struct MsgCacheEntry {
+    sim::Bytes bytes;
+    sim::TimeNs cost;
+  };
+  std::vector<MsgCacheEntry> msg_cache_;
 
   sim::TimeNs clock_{0};
   sim::TimeNs pending_max_{0};   ///< slowest lane's accumulated work

@@ -24,6 +24,25 @@ SECTIONS = ("meta", "counters", "gauges", "summaries", "histograms", "host")
 SUMMARY_KEYS = {"count", "min", "max", "mean", "median", "p95", "stddev"}
 HISTOGRAM_KEYS = {"min_value", "max_value", "total", "underflow", "overflow", "bins"}
 
+# The sampling/fast-path engine's counter group is a curated namespace: every
+# emitter (obs::record_world and the engine microbenches) draws from this set,
+# so an unknown engine.* name in a ledger means a typo or a counter added
+# without updating the schema — both worth failing loudly.
+ENGINE_COUNTERS = {
+    "engine.heap_fast_lanes",      # heap_cycle lanes satisfied by replay
+    "engine.heap_slow_lanes",      # heap_cycle lanes simulated event-by-event
+    "engine.compute_uniform_fast", # compute_bytes* calls on the uniform path
+    "engine.compute_lane_loops",   # compute_bytes* calls on the per-lane loop
+    "engine.coll_cache_hits",
+    "engine.coll_cache_misses",
+    "engine.msg_cache_hits",
+    "engine.msg_cache_misses",
+    "engine.noise_analytic_sums",    # component sums via Gamma / normal
+    "engine.noise_exact_events",     # individually drawn noise events
+    "engine.noise_analytic_maxima",  # inverse-CDF maximum draws
+    "engine.noise_gumbel_draws",     # frequent-component Gumbel maxima
+}
+
 
 def fail(path, msg):
     raise ValueError(f"{path}: {msg}")
@@ -83,6 +102,9 @@ def check_ledger(path, doc):
     for k, v in doc["counters"].items():
         if not isinstance(v, int) or isinstance(v, bool) or v < 0:
             fail(path, f"counter {k!r} is not a non-negative integer")
+        if k.startswith("engine.") and k not in ENGINE_COUNTERS:
+            fail(path, f"unknown engine counter {k!r} (update ENGINE_COUNTERS "
+                       f"if this is a new fast-path metric)")
     for k, v in doc["gauges"].items():
         if v is not None and (isinstance(v, bool) or not isinstance(v, (int, float))):
             fail(path, f"gauge {k!r} is not a number or null")
