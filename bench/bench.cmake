@@ -36,4 +36,5 @@ mkos_add_bench(phase_breakdown)
 mkos_add_bench(syscall_matrix)
 mkos_add_bench(hotpath_sampling)
 mkos_add_bench(perf_smoke)
+mkos_add_bench(resilience)
 mkos_add_gbench(micro_substrates)

@@ -49,6 +49,10 @@ std::uint64_t SystemConfig::fingerprint() const {
     bools = (bools << 1) | static_cast<std::uint64_t>(b);
   }
   mix(bools);
+  // Fold the resilience spec only when it can change observable behavior:
+  // an inert spec must keep every pre-existing fingerprint (cache keys,
+  // ledger meta) exactly as it was before the fault subsystem existed.
+  if (resilience.enabled()) mix(resilience.fingerprint());
   return h;
 }
 

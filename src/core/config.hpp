@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "hw/cluster.hpp"
 #include "kernel/node.hpp"
 #include "runtime/job.hpp"
@@ -42,6 +43,11 @@ struct SystemConfig {
   /// Linux partition — the isolation experiment of the papers the related
   /// work cites ([31], [32]).
   bool co_tenant = false;
+
+  /// Fault injection and recovery (inert by default: all rates zero). Folded
+  /// into fingerprint() only when enabled(), so pre-existing configs keep
+  /// their cache keys and ledger meta entries.
+  fault::Spec resilience;
 
   [[nodiscard]] static SystemConfig linux_default();
   [[nodiscard]] static SystemConfig mckernel();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "obs/snapshots.hpp"
+#include "runtime/resilience.hpp"
 #include "sim/contracts.hpp"
 
 namespace mkos::core {
@@ -35,14 +37,24 @@ RepOutcome run_once(workloads::App& app, const SystemConfig& config, int nodes,
   // fragmentation must not leak across runs.
   const runtime::Machine machine = config.machine(nodes);
   runtime::Job job(machine, app.spec(nodes), rep_seed(cell_fp, rep, /*stream=*/0));
+  // Fault plan on its own positional stream, constructed before setup so
+  // MCDRAM denial hooks see placement-time allocations. Declared after `job`
+  // (destroyed first: the dtor detaches the hooks it installed).
+  std::optional<runtime::ResilienceManager> resil;
+  if (config.resilience.enabled()) {
+    resil.emplace(config.resilience, job, rep_seed(cell_fp, rep, /*stream=*/2));
+    resil->install_memory_faults();
+  }
   app.setup(job);
   runtime::MpiWorld world(job, rep_seed(cell_fp, rep, /*stream=*/1));
+  if (resil) world.attach_resilience(&*resil);
   RepOutcome out;
   out.result = app.run(job, world);
   // Snapshot after the run so heap/kernel/world counters reflect the whole
   // repetition; per-rep ledgers are merged positionally by the callers.
   obs::record_world(out.ledger, world);
   obs::record_job(out.ledger, job);
+  if (resil) obs::record_faults(out.ledger, resil->counters());
   out.ledger.observe("run.fom", out.result.fom);
   return out;
 }

@@ -66,7 +66,7 @@ bool emit(const obs::RunLedger& ledger) {
   const std::string* id = ledger.meta("bench");
   MKOS_EXPECTS(id != nullptr);  // stamp identity with bench_ledger() first
   const std::string path = "BENCH_" + *id + ".json";
-  if (!write_text_file(path, ledger.to_json())) {
+  if (!ledger.write_json(path)) {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
     return false;
   }

@@ -1,36 +1,74 @@
 #include "kernel/ikc_queue.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/contracts.hpp"
 
 namespace mkos::kernel {
 
 IkcQueue::IkcQueue(sim::EventQueue& events, IkcChannel channel,
-                   sim::TimeNs proxy_service_time)
-    : events_(events), channel_(channel), proxy_service_time_(proxy_service_time) {
+                   sim::TimeNs proxy_service_time, std::size_t capacity)
+    : events_(events),
+      channel_(channel),
+      proxy_service_time_(proxy_service_time),
+      capacity_(capacity) {
   MKOS_EXPECTS(proxy_service_time >= sim::TimeNs{0});
+  // Bounded rings allocate their slots up front; unbounded rings grow lazily.
+  if (capacity_ > 0) ring_.resize(capacity_);
 }
 
 void IkcQueue::post(sim::Bytes payload, Handler on_complete) {
   MKOS_EXPECTS(on_complete != nullptr);
-  // Request message travels to the Linux side regardless of proxy state.
+  // Request message travels to the Linux side regardless of proxy state;
+  // admission into the ring is decided on arrival, when the slot is claimed.
   const sim::TimeNs arrival = channel_.one_way(payload);
   Request req{payload, events_.now(), std::move(on_complete)};
   events_.schedule_after(arrival, [this, req = std::move(req)]() mutable {
-    queue_.push_back(std::move(req));
+    if (capacity_ > 0 && count_ >= capacity_) {
+      ++dropped_;
+      if (drop_handler_) drop_handler_(req.payload);
+      return;  // drop-newest: the arriving request is lost
+    }
+    enqueue(std::move(req));
     if (!proxy_busy_) service_next();
   });
 }
 
+void IkcQueue::enqueue(Request req) {
+  if (count_ == ring_.size()) {
+    // Unbounded mode only (bounded rings were sized in the constructor and
+    // admission already rejected the overflow). Double, un-wrapping so the
+    // live window starts at slot 0 again.
+    MKOS_ASSERT(capacity_ == 0);
+    std::vector<Request> grown;
+    grown.reserve(std::max<std::size_t>(8, ring_.size() * 2));
+    for (std::size_t i = 0; i < count_; ++i) {
+      grown.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+    }
+    grown.resize(std::max<std::size_t>(8, ring_.size() * 2));
+    ring_ = std::move(grown);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) % ring_.size()] = std::move(req);
+  ++count_;
+}
+
+IkcQueue::Request IkcQueue::dequeue() {
+  MKOS_EXPECTS(count_ > 0);
+  Request req = std::move(ring_[head_]);
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+  return req;
+}
+
 void IkcQueue::service_next() {
-  if (queue_.empty()) {
+  if (count_ == 0) {
     proxy_busy_ = false;
     return;
   }
   proxy_busy_ = true;
-  Request req = std::move(queue_.front());
-  queue_.pop_front();
+  Request req = dequeue();
   // Proxy wakeup (only when it was idle is the full wakeup paid; a busy
   // proxy pipelines) + handler execution + response message.
   const sim::TimeNs service = channel_.costs().proxy_wakeup + proxy_service_time_;

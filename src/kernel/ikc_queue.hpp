@@ -5,10 +5,20 @@
 // executes, and responds. Driven by the simulation event queue so tests and
 // micro-benches can observe ordering, queueing delay and backpressure —
 // e.g. many LWK cores offloading simultaneously serialize on the proxy.
+//
+// The pending-request store is a ring buffer with an optional capacity
+// bound. Real IKC channels are fixed-size shared-memory rings; when the
+// Linux side stops draining (crash, storm) the ring fills and new requests
+// are lost. A full ring drops the *arriving* request (drop-newest): it never
+// reaches the proxy, its completion handler never fires, and the drop is
+// tallied (and surfaced via the drop handler) so the fault/recovery layer
+// can model detection and retry. Capacity 0 keeps the legacy unbounded
+// behavior.
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "kernel/ikc.hpp"
 #include "sim/event_queue.hpp"
@@ -18,16 +28,28 @@ namespace mkos::kernel {
 class IkcQueue {
  public:
   using Handler = std::function<void(sim::TimeNs completion_time)>;
+  /// Called when a full ring rejects an arriving request (payload bytes).
+  using DropHandler = std::function<void(sim::Bytes payload)>;
 
   /// `proxy_service_time`: Linux-side execution per request (handler body).
-  IkcQueue(sim::EventQueue& events, IkcChannel channel, sim::TimeNs proxy_service_time);
+  /// `capacity`: max requests pending on the Linux side; 0 = unbounded.
+  IkcQueue(sim::EventQueue& events, IkcChannel channel,
+           sim::TimeNs proxy_service_time, std::size_t capacity = 0);
 
   /// Post an offload request of `payload` bytes; `on_complete` fires (as a
-  /// simulation event) when the response arrives back at the LWK core.
+  /// simulation event) when the response arrives back at the LWK core. If
+  /// the ring is full when the request message arrives, it is dropped and
+  /// `on_complete` never runs.
   void post(sim::Bytes payload, Handler on_complete);
 
+  /// Observe drops as they happen (fault detection). Replaces any previous
+  /// handler; nullptr detaches.
+  void set_drop_handler(DropHandler handler) { drop_handler_ = std::move(handler); }
+
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
-  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t queued() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Longest request-to-response latency observed so far.
   [[nodiscard]] sim::TimeNs worst_latency() const { return worst_latency_; }
 
@@ -38,14 +60,25 @@ class IkcQueue {
     Handler on_complete;
   };
 
+  void enqueue(Request req);
+  Request dequeue();
   void service_next();
 
   sim::EventQueue& events_;
   IkcChannel channel_;
   sim::TimeNs proxy_service_time_;
-  std::deque<Request> queue_;
+  std::size_t capacity_;
+
+  // Ring storage: `count_` live requests starting at `head_`, wrapping
+  // modulo ring_.size(). Unbounded mode grows by doubling on overflow.
+  std::vector<Request> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+
+  DropHandler drop_handler_;
   bool proxy_busy_ = false;
   std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
   sim::TimeNs worst_latency_{0};
 };
 

@@ -58,6 +58,11 @@ class Node {
   [[nodiscard]] int proxy_process_count() const { return proxy_count_; }
   [[nodiscard]] int app_core_count() const { return config_.app_cores; }
 
+  /// Partitioning means a Linux-side kernel crash does not take the
+  /// application down: the LWK keeps computing while Linux reboots (it only
+  /// stalls on offloaded services). A Linux-only node loses everything.
+  [[nodiscard]] bool lwk_survives_linux_crash() const { return lwk_ != nullptr; }
+
  private:
   hw::NodeTopology topo_;
   NodeOsConfig config_;

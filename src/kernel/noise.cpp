@@ -282,6 +282,15 @@ NoiseModel noise_linux_collective_tail_co_tenant() {
   return m;
 }
 
+NoiseModel noise_daemon_storm() {
+  // ~2000 preemptions/s of ~150us each: expected_fraction() ~= 0.3, i.e. a
+  // storm costs a fully exposed core roughly a third of its cycles.
+  return NoiseModel{{
+      NoiseComponent{"storm-preempt", 2000.0, sim::microseconds(150),
+                     NoiseComponent::Dist::kExponential, 1.5, sim::TimeNs{0}},
+  }};
+}
+
 NoiseModel noise_linux_service_core() {
   NoiseModel m = noise_linux_nohz_full();
   m.add(NoiseComponent{"services", 40.0, sim::microseconds(120),

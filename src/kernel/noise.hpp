@@ -115,6 +115,13 @@ class NoiseModel {
 /// "mOS using 64 or 66 cores beats Linux on 68 cores".
 [[nodiscard]] NoiseModel noise_linux_service_core();
 
+/// A service-daemon interference storm (log rotation gone wrong, monitoring
+/// stampede, kswapd frenzy): dense bursts that steal a large fraction of a
+/// Linux application core while active. The fault layer applies this model
+/// for the storm's duration, scaled by each kernel's isolation leak — on an
+/// LWK partition almost none of it reaches application cores.
+[[nodiscard]] NoiseModel noise_daemon_storm();
+
 /// Heavy-tailed stalls that couple to blocking collectives (see the
 /// definition for the mechanism). Empty on the LWKs.
 [[nodiscard]] NoiseModel noise_linux_collective_tail();

@@ -36,6 +36,12 @@ std::uint64_t DomainAllocator::state_fingerprint() const {
 }
 
 std::optional<Extent> DomainAllocator::alloc_contiguous(sim::Bytes length, sim::Bytes align) {
+  if (fault_hook_ && fault_hook_(length)) return std::nullopt;
+  return alloc_contiguous_impl(length, align);
+}
+
+std::optional<Extent> DomainAllocator::alloc_contiguous_impl(sim::Bytes length,
+                                                             sim::Bytes align) {
   MKOS_EXPECTS(length > 0);
   MKOS_EXPECTS(align > 0 && (align & (align - 1)) == 0);
   for (auto it = free_.begin(); it != free_.end(); ++it) {
@@ -59,6 +65,10 @@ std::optional<Extent> DomainAllocator::alloc_contiguous(sim::Bytes length, sim::
 std::vector<Extent> DomainAllocator::alloc_best_effort(sim::Bytes length, sim::Bytes granule) {
   MKOS_EXPECTS(granule > 0 && (granule & (granule - 1)) == 0);
   std::vector<Extent> out;
+  // One injection decision per request, not per carved extent: the internal
+  // loop below allocates pieces it has already sized against the free map,
+  // so a mid-loop denial would trip the has_value() invariant.
+  if (fault_hook_ && fault_hook_(length)) return out;
   sim::Bytes remaining = sim::align_up(length, granule);
   while (remaining > 0) {
     // Take the largest granule-aligned piece available, capped at remaining.
@@ -76,7 +86,7 @@ std::vector<Extent> DomainAllocator::alloc_best_effort(sim::Bytes length, sim::B
     if (best == free_.end() || best_usable == 0) break;
     const sim::Bytes take = std::min(best_usable, remaining);
     const sim::Bytes aligned = sim::align_up(best->first, granule);
-    auto e = alloc_contiguous(take, granule);
+    auto e = alloc_contiguous_impl(take, granule);
     MKOS_ASSERT(e.has_value());
     (void)aligned;
     out.push_back(*e);

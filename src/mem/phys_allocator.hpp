@@ -10,6 +10,7 @@
 // before the LWK reserves from it.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -49,6 +50,15 @@ class DomainAllocator {
   /// than requested; the caller decides whether to spill to another domain.
   std::vector<Extent> alloc_best_effort(sim::Bytes length, sim::Bytes granule);
 
+  /// Fault-injection hook, consulted once at the top of each public
+  /// allocation call (never on internal retries). Returning true denies the
+  /// allocation as if the domain were exhausted, which drives callers onto
+  /// their existing spill paths (MCDRAM -> DDR4). nullptr (the default)
+  /// disables injection with zero cost on the allocation path.
+  using FaultHook = std::function<bool(sim::Bytes length)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  [[nodiscard]] bool has_fault_hook() const { return fault_hook_ != nullptr; }
+
   /// Return an extent previously handed out.
   void free(const Extent& e);
 
@@ -68,11 +78,15 @@ class DomainAllocator {
 
  private:
   void insert_free(sim::Bytes start, sim::Bytes length);
+  /// alloc_contiguous without the fault hook (internal callers that already
+  /// passed the injection gate for the whole request).
+  std::optional<Extent> alloc_contiguous_impl(sim::Bytes length, sim::Bytes align);
 
   hw::DomainId id_;
   sim::Bytes capacity_;
   sim::Bytes free_bytes_;
   std::map<sim::Bytes, sim::Bytes> free_;  // start -> length, coalesced
+  FaultHook fault_hook_;
 };
 
 /// All domains of one node.

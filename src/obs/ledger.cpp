@@ -1,5 +1,7 @@
 #include "obs/ledger.hpp"
 
+#include <fstream>
+#include <ostream>
 #include <utility>
 
 #include "core/report.hpp"
@@ -178,6 +180,20 @@ std::string RunLedger::to_json() const {
                false);
   out += "}\n";
   return out;
+}
+
+bool RunLedger::write_json(std::ostream& os) const {
+  os << to_json();
+  os.flush();
+  // good() (not just !fail()): a stream that hit EOF or a write error at any
+  // point reports it here, after the flush pushed everything to the sink.
+  return os.good();
+}
+
+bool RunLedger::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  return write_json(out);
 }
 
 std::string RunLedger::to_csv() const {

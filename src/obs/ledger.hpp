@@ -22,6 +22,7 @@
 // order is deterministic.
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -85,6 +86,12 @@ class RunLedger {
 
   /// Full schema-versioned JSON document (trailing newline included).
   [[nodiscard]] std::string to_json() const;
+
+  /// Serialize to a stream / file, reporting success. A full disk, a closed
+  /// pipe or an unwritable path returns false instead of silently producing
+  /// a truncated document (callers decide whether that is fatal).
+  bool write_json(std::ostream& os) const;
+  bool write_json(const std::string& path) const;
 
   /// Flat CSV (section,name,value) of the deterministic scalar sections.
   [[nodiscard]] std::string to_csv() const;

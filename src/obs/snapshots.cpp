@@ -1,5 +1,6 @@
 #include "obs/snapshots.hpp"
 
+#include "fault/fault.hpp"
 #include "kernel/kernel.hpp"
 #include "mem/address_space.hpp"
 #include "mem/heap.hpp"
@@ -90,6 +91,27 @@ void record_job(RunLedger& ledger, runtime::Job& job) {
     if (p.heap() != nullptr) record_heap(ledger, p.heap()->stats());
     record_address_space(ledger, p.address_space(), topo);
   }
+}
+
+void record_faults(RunLedger& ledger, const fault::Counters& c) {
+  ledger.incr("fault.injected", c.injected);
+  ledger.incr("fault.detected", c.detected);
+  ledger.incr("fault.retried", c.retried);
+  ledger.incr("fault.recovered", c.recovered);
+  ledger.incr("fault.node_failures", c.node_failures);
+  ledger.incr("fault.linux_crashes", c.linux_crashes);
+  ledger.incr("fault.stragglers", c.stragglers);
+  ledger.incr("fault.storms", c.storms);
+  ledger.incr("fault.ikc_dropped", c.ikc_dropped);
+  ledger.incr("fault.ikc_delays", c.ikc_delays);
+  ledger.incr("fault.mcdram_denied", c.mcdram_denied);
+  ledger.incr("fault.checkpoints", c.checkpoints);
+  ledger.incr("fault.restarts", c.restarts);
+  ledger.incr("fault.lost_work_ns", c.lost_work_ns);
+  ledger.incr("fault.checkpoint_ns", c.checkpoint_ns);
+  ledger.incr("fault.backoff_wait_ns", c.backoff_wait_ns);
+  ledger.incr("fault.redistributed_ns", c.redistributed_ns);
+  ledger.incr("fault.wait_ns", c.wait_ns);
 }
 
 }  // namespace mkos::obs

@@ -30,6 +30,10 @@ class MpiWorld;
 class Job;
 }  // namespace mkos::runtime
 
+namespace mkos::fault {
+struct Counters;
+}  // namespace mkos::fault
+
 namespace mkos::obs {
 
 /// heap.* counters: brk traffic, faults, zeroing work.
@@ -54,5 +58,10 @@ void record_world(RunLedger& ledger, const runtime::MpiWorld& world);
 /// Whole-job snapshot: kernel + every lane's heap and address space, in
 /// lane order (positional, hence deterministic).
 void record_job(RunLedger& ledger, runtime::Job& job);
+
+/// fault.* counters: injected/recovered event tallies and the time the run
+/// absorbed for faults, recovery and checkpoint cadence. Only called when a
+/// resilience spec is enabled — fault-free ledgers carry no fault section.
+void record_faults(RunLedger& ledger, const fault::Counters& c);
 
 }  // namespace mkos::obs

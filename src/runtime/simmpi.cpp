@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/resilience.hpp"
 #include "sim/contracts.hpp"
 
 namespace mkos::runtime {
@@ -237,7 +238,14 @@ void MpiWorld::synchronize(std::uint64_t sync_cores, sim::TimeNs comm, SyncKind 
 
   const NoiseWindow w = extremes_.sample(span, std::max<std::uint64_t>(sync_cores, 1),
                                          rng_, &noise_counters_);
-  clock_ += span + w.max + comm;
+  // Fault/recovery charge for this window (nothing runs when detached, so a
+  // fault-free world stays bit-identical to a build without the subsystem).
+  sim::TimeNs fault_extra{0};
+  if (resilience_ != nullptr) {
+    fault_extra = resilience_->on_sync(span);
+    fault_wait_ += fault_extra;
+  }
+  clock_ += span + w.max + comm + fault_extra;
   compute_time_ += span;
   noise_wait_ += w.max;
   comm_time_ += comm;

@@ -27,6 +27,8 @@
 
 namespace mkos::runtime {
 
+class ResilienceManager;
+
 class MpiWorld {
  public:
   MpiWorld(Job& job, std::uint64_t noise_seed);
@@ -41,6 +43,14 @@ class MpiWorld {
   /// Refresh cached per-lane bandwidths after the setup phase changed
   /// placements. Called automatically by mpi_init().
   void refresh_lanes();
+
+  /// Attach a fault/recovery manager: every synchronization window is closed
+  /// against its fault timeline and the returned charge lands on the clock.
+  /// nullptr (the default) detaches — the sync path then does no fault work
+  /// at all, keeping fault-free runs bit-identical to pre-subsystem builds.
+  void attach_resilience(ResilienceManager* mgr) { resilience_ = mgr; }
+  /// Total extra time charged by the attached manager so far.
+  [[nodiscard]] sim::TimeNs total_fault_wait() const { return fault_wait_; }
 
   // ------------------------------------------------- per-rank pending work
   /// Memory-bandwidth-bound work: every rank streams `bytes` through its
@@ -197,6 +207,8 @@ class MpiWorld {
   sim::TimeNs noise_wait_{0};
   sim::TimeNs comm_time_{0};
   sim::TimeNs compute_time_{0};
+  ResilienceManager* resilience_ = nullptr;
+  sim::TimeNs fault_wait_{0};
   bool trace_enabled_ = false;
   std::vector<SyncEvent> trace_;
   std::uint64_t allreduces_ = 0;

@@ -1,0 +1,17 @@
+// Fixture: swallowed-catch — a catch-all handler that absorbs the
+// exception without rethrowing or capturing it.
+
+namespace mkos::fixtures {
+
+int risky();
+
+int swallow_everything() {
+  try {
+    return risky();
+  } catch (...) {
+    // Nothing rethrown, nothing captured: the failure vanishes.
+    return -1;
+  }
+}
+
+}  // namespace mkos::fixtures

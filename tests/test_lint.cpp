@@ -169,6 +169,59 @@ TEST(LintRules, FloatScopedToSrc) {
   EXPECT_TRUE(lint_file("bench/micro.cpp", src).empty());
 }
 
+TEST(LintRules, SwallowedCatchAllFlagged) {
+  const auto vs = lint_file("src/runtime/job.cpp",
+                            "void f() {\n"
+                            "  try { g(); } catch (...) {\n"
+                            "    cleanup();\n"
+                            "  }\n"
+                            "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "swallowed-catch");
+  EXPECT_EQ(vs[0].line, 2);
+}
+
+TEST(LintRules, RethrowingOrCapturingCatchAllIsFine) {
+  EXPECT_TRUE(lint_file("src/runtime/job.cpp",
+                        "void f() { try { g(); } catch (...) { h(); throw; } }\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_file("src/sim/thread_pool.cpp",
+                "void f() {\n"
+                "  try { g(); } catch (...) {\n"
+                "    ep = std::current_exception();\n"
+                "  }\n"
+                "}\n")
+          .empty());
+  EXPECT_TRUE(lint_file("src/runtime/job.cpp",
+                        "void f() {\n"
+                        "  try { g(); } catch (...) {\n"
+                        "    std::rethrow_exception(std::current_exception());\n"
+                        "  }\n"
+                        "}\n")
+                  .empty());
+}
+
+TEST(LintRules, TypedCatchIsNotSwallowedCatch) {
+  EXPECT_TRUE(
+      lint_file("src/runtime/job.cpp",
+                "void f() { try { g(); } catch (const std::exception& e) { h(); } }\n")
+          .empty());
+}
+
+TEST(LintRules, SwallowedCatchSpansPhysicalLines) {
+  const auto vs = lint_file("src/runtime/job.cpp",
+                            "void f() {\n"
+                            "  try { g(); } catch (\n"
+                            "      ...) {\n"
+                            "    cleanup();\n"
+                            "  }\n"
+                            "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "swallowed-catch");
+  EXPECT_EQ(vs[0].line, 2);
+}
+
 // -------------------------------------------------------------- annotations
 
 TEST(LintAllow, JustifiedSameLineSuppresses) {
@@ -247,7 +300,8 @@ TEST(LintBinary, ViolatingFixturesFailWithEveryRule) {
   EXPECT_EQ(r.exit_code, 1) << r.output;
   for (const char* rule :
        {"raw-rng", "wall-clock", "unordered-iter", "raw-assert", "naked-new",
-        "header-hygiene", "float-arith", "allow-no-reason", "unknown-rule"}) {
+        "header-hygiene", "float-arith", "swallowed-catch", "allow-no-reason",
+        "unknown-rule"}) {
     EXPECT_NE(r.output.find(std::string("[") + rule + "]"), std::string::npos)
         << "rule " << rule << " missing from:\n"
         << r.output;

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "core/experiment.hpp"
 #include "obs/ledger.hpp"
 #include "sim/thread_pool.hpp"
@@ -144,6 +148,40 @@ TEST(RunLedger, EmptyLedgerStillEmitsAllSections) {
         "\"host\""}) {
     EXPECT_NE(json.find(sec), std::string::npos) << sec;
   }
+}
+
+TEST(RunLedger, WriteJsonRoundTripsThroughAFile) {
+  obs::RunLedger l;
+  l.set_meta("bench", "write_json");
+  l.incr("fault.injected", 3);
+  l.set_gauge("degradation", 0.93);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mkos_write_json_test.json").string();
+  ASSERT_TRUE(l.write_json(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), l.to_json());
+  EXPECT_TRUE(StrictJson{content.str()}.valid());
+  std::filesystem::remove(path);
+}
+
+TEST(RunLedger, WriteJsonReportsFailureToOpenOrWrite) {
+  obs::RunLedger l;
+  l.set_meta("bench", "unwritable");
+  // Nonexistent parent directory: the ofstream never opens.
+  EXPECT_FALSE(l.write_json("/nonexistent-mkos-dir/out.json"));
+  // A directory path: opening for writing fails too.
+  EXPECT_FALSE(l.write_json(std::filesystem::temp_directory_path().string()));
+  // Stream overload: a stream already in a failed state reports failure...
+  std::ostringstream sink;
+  sink.setstate(std::ios::badbit);
+  EXPECT_FALSE(l.write_json(sink));
+  // ...and a healthy stream succeeds with identical bytes.
+  std::ostringstream ok;
+  EXPECT_TRUE(l.write_json(ok));
+  EXPECT_EQ(ok.str(), l.to_json());
 }
 
 TEST(RunLedger, ToCsvListsScalarSections) {

@@ -162,6 +162,76 @@ TEST(IkcQueue, CompletionOrderIsFifo) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(IkcQueue, FullRingDropsArrivingRequests) {
+  // A bounded ring with a stalled (slow) proxy: the in-service request has
+  // left the ring, so capacity bounds the *waiting* requests. Five posts with
+  // identical payloads arrive together; one is immediately in service, two
+  // wait, and the last two find the ring full and are dropped.
+  EventQueue events;
+  kernel::IkcQueue q{events, kernel::IkcChannel{kernel::IkcCosts{}, 1, 0},
+                     sim::milliseconds(1), /*capacity=*/2};
+  EXPECT_EQ(q.capacity(), 2u);
+  std::vector<sim::Bytes> drops;
+  q.set_drop_handler([&](sim::Bytes payload) { drops.push_back(payload); });
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {
+    q.post(128, [&](sim::TimeNs) { ++completions; });
+  }
+  events.run();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(q.completed(), 3u);
+  EXPECT_EQ(q.dropped(), 2u);
+  EXPECT_EQ(drops, (std::vector<sim::Bytes>{128, 128}));
+  EXPECT_EQ(q.queued(), 0u);
+}
+
+TEST(IkcQueue, BoundedRingWrapsAroundAcrossBursts) {
+  // Repeated bursts push head_ past the end of the 4-slot ring several
+  // times. Nothing is ever dropped (each burst fits) and FIFO order holds
+  // across the wraparound.
+  EventQueue events;
+  kernel::IkcQueue q{events, kernel::IkcChannel{kernel::IkcCosts{}, 1, 0},
+                     sim::microseconds(5), /*capacity=*/4};
+  std::vector<int> order;
+  for (int burst = 0; burst < 4; ++burst) {
+    for (int i = 0; i < 3; ++i) {
+      const int id = burst * 3 + i;
+      q.post(64, [&order, id](sim::TimeNs) { order.push_back(id); });
+    }
+    events.run();
+  }
+  EXPECT_EQ(q.completed(), 12u);
+  EXPECT_EQ(q.dropped(), 0u);
+  ASSERT_EQ(order.size(), 12u);
+  for (int id = 0; id < 12; ++id) EXPECT_EQ(order[static_cast<std::size_t>(id)], id);
+}
+
+TEST(IkcQueue, DrainAfterDropKeepsFifoOrderAndSkipsLostHandlers) {
+  // Overload a capacity-2 ring, then drain: the survivors complete in post
+  // order and the dropped requests' completion handlers never fire — the
+  // contract the retry layer depends on (a drop is silent except for the
+  // drop handler and the counter).
+  EventQueue events;
+  kernel::IkcQueue q{events, kernel::IkcChannel{kernel::IkcCosts{}, 1, 0},
+                     sim::microseconds(50), /*capacity=*/2};
+  std::uint64_t drop_events = 0;
+  q.set_drop_handler([&](sim::Bytes) { ++drop_events; });
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    q.post(256, [&order, i](sim::TimeNs) { order.push_back(i); });
+  }
+  events.run();
+  // First arrival goes straight into service; two wait; three are lost.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.dropped(), 3u);
+  EXPECT_EQ(drop_events, 3u);
+  // The ring drained fully and accepts new work afterwards, in order.
+  q.post(256, [&order](sim::TimeNs) { order.push_back(100); });
+  events.run();
+  EXPECT_EQ(order.back(), 100);
+  EXPECT_EQ(q.completed(), 4u);
+}
+
 // ------------------------------------------------------- TimeShareScheduler
 
 TEST(TimeShare, EqualTasksFinishTogetherAtTheEnd) {

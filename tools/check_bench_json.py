@@ -24,6 +24,14 @@ SECTIONS = ("meta", "counters", "gauges", "summaries", "histograms", "host")
 SUMMARY_KEYS = {"count", "min", "max", "mean", "median", "p95", "stddev"}
 HISTOGRAM_KEYS = {"min_value", "max_value", "total", "underflow", "overflow", "bins"}
 
+# Every counter name is "<group>.<metric>". The groups themselves form a
+# closed namespace: a ledger with a group not listed here means a typo or a
+# new subsystem added without updating the schema — both worth failing loudly.
+KNOWN_COUNTER_GROUPS = {
+    "campaign", "dispo", "engine", "fault", "heap",
+    "kernel", "ltp", "mem", "naive", "runtime",
+}
+
 # The sampling/fast-path engine's counter group is a curated namespace: every
 # emitter (obs::record_world and the engine microbenches) draws from this set,
 # so an unknown engine.* name in a ledger means a typo or a counter added
@@ -41,6 +49,30 @@ ENGINE_COUNTERS = {
     "engine.noise_exact_events",     # individually drawn noise events
     "engine.noise_analytic_maxima",  # inverse-CDF maximum draws
     "engine.noise_gumbel_draws",     # frequent-component Gumbel maxima
+}
+
+# The fault-injection/resilience subsystem's counter group, mirrored from
+# obs::record_faults (src/obs/snapshots.cpp). Curated like engine.*: a name
+# outside this set means the emitter and the schema drifted apart.
+FAULT_COUNTERS = {
+    "fault.injected",          # fault events that fired (incl. denials)
+    "fault.detected",          # faults the running system felt
+    "fault.retried",           # IKC send attempts spent on recovery
+    "fault.recovered",         # faults absorbed by a recovery path
+    "fault.node_failures",
+    "fault.linux_crashes",
+    "fault.stragglers",
+    "fault.storms",
+    "fault.ikc_dropped",
+    "fault.ikc_delays",
+    "fault.mcdram_denied",
+    "fault.checkpoints",
+    "fault.restarts",
+    "fault.lost_work_ns",      # progress redone or abandoned
+    "fault.checkpoint_ns",     # coordinated-flush overhead
+    "fault.backoff_wait_ns",   # IKC exponential-backoff waits
+    "fault.redistributed_ns",  # straggler slowdown absorbed by peers
+    "fault.wait_ns",           # total extra time charged to the run
 }
 
 
@@ -102,9 +134,16 @@ def check_ledger(path, doc):
     for k, v in doc["counters"].items():
         if not isinstance(v, int) or isinstance(v, bool) or v < 0:
             fail(path, f"counter {k!r} is not a non-negative integer")
+        group = k.split(".", 1)[0]
+        if group not in KNOWN_COUNTER_GROUPS:
+            fail(path, f"counter {k!r} is in unknown group {group!r} (update "
+                       f"KNOWN_COUNTER_GROUPS if this is a new subsystem)")
         if k.startswith("engine.") and k not in ENGINE_COUNTERS:
             fail(path, f"unknown engine counter {k!r} (update ENGINE_COUNTERS "
                        f"if this is a new fast-path metric)")
+        if k.startswith("fault.") and k not in FAULT_COUNTERS:
+            fail(path, f"unknown fault counter {k!r} (update FAULT_COUNTERS "
+                       f"if this is a new resilience metric)")
     for k, v in doc["gauges"].items():
         if v is not None and (isinstance(v, bool) or not isinstance(v, (int, float))):
             fail(path, f"gauge {k!r} is not a number or null")

@@ -325,6 +325,65 @@ void scan_float_arith(const FileScan& f) {
   }
 }
 
+void scan_swallowed_catch(const FileScan& f) {
+  // Join code lines so a catch clause and its handler block can span
+  // physical lines; remember where each line starts for reporting.
+  std::string code;
+  std::vector<std::size_t> line_starts;
+  for (const CleanLine& ln : f.lines) {
+    line_starts.push_back(code.size());
+    code += ln.code;
+    code += '\n';
+  }
+  const auto line_of = [&](std::size_t pos) {
+    std::size_t lo = 0;
+    while (lo + 1 < line_starts.size() && line_starts[lo + 1] <= pos) ++lo;
+    return static_cast<int>(lo + 1);
+  };
+  const auto skip_space = [&](std::size_t i) {
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+    return i;
+  };
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t pos = find_ident(code, "catch", from);
+    if (pos == std::string::npos) break;
+    from = pos + 5;
+    // Only the catch-all form `catch (...)`: a typed handler at least names
+    // what it absorbs; `...` silently swallows every failure, including the
+    // contract violations the determinism story leans on.
+    std::size_t i = skip_space(pos + 5);
+    if (i >= code.size() || code[i] != '(') continue;
+    i = skip_space(i + 1);
+    if (code.compare(i, 3, "...") != 0) continue;
+    i = skip_space(i + 3);
+    if (i >= code.size() || code[i] != ')') continue;
+    // Handler body: the matched-brace block after the ')'.
+    const std::size_t open = code.find('{', i);
+    if (open == std::string::npos) continue;
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < code.size(); ++close) {
+      if (code[close] == '{') ++depth;
+      if (code[close] == '}' && --depth == 0) break;
+    }
+    const std::string_view body(code.data() + open,
+                                std::min(close, code.size()) - open);
+    const bool handles =
+        find_ident(body, "throw") != std::string_view::npos ||
+        find_ident(body, "rethrow_exception") != std::string_view::npos ||
+        find_ident(body, "current_exception") != std::string_view::npos;
+    if (!handles) {
+      f.add(line_of(pos), "swallowed-catch",
+            "'catch (...)' absorbs every exception without rethrowing or "
+            "capturing it (throw; / std::rethrow_exception / "
+            "std::current_exception); swallowed failures hide contract "
+            "violations and corrupt results silently");
+    }
+    from = close;
+  }
+}
+
 }  // namespace
 
 std::vector<CleanLine> tokenize(std::string_view content) {
@@ -429,9 +488,10 @@ std::vector<CleanLine> tokenize(std::string_view content) {
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
-      "raw-rng",       "wall-clock",     "unordered-iter",
-      "raw-assert",    "naked-new",      "header-hygiene",
-      "float-arith",   "allow-no-reason", "unknown-rule"};
+      "raw-rng",       "wall-clock",      "unordered-iter",
+      "raw-assert",    "naked-new",       "header-hygiene",
+      "float-arith",   "swallowed-catch", "allow-no-reason",
+      "unknown-rule"};
   return kIds;
 }
 
@@ -453,6 +513,7 @@ std::vector<Violation> lint_file(const std::string& rel_path,
   scan_naked_new(scan);
   scan_header_hygiene(scan);
   scan_float_arith(scan);
+  scan_swallowed_catch(scan);
 
   // Collect annotations: an allow on line N suppresses rule hits on N and,
   // when the annotation is on a comment-only line, on N+1.

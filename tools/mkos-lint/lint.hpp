@@ -36,6 +36,10 @@
 //   float-arith      `float` under src/ — accounting/units paths are
 //                    double-only (float truncation is a reproducibility
 //                    hazard across optimization levels).
+//   swallowed-catch  `catch (...)` whose handler neither rethrows (throw;
+//                    / std::rethrow_exception) nor captures the exception
+//                    (std::current_exception) — silently absorbed failures
+//                    hide contract violations and corrupt results.
 //   allow-no-reason  an allow annotation missing its justification.
 //   unknown-rule     an allow annotation naming a rule that doesn't exist.
 
