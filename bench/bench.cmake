@@ -35,6 +35,7 @@ mkos_add_bench(design_space)
 mkos_add_bench(phase_breakdown)
 mkos_add_bench(syscall_matrix)
 mkos_add_bench(hotpath_sampling)
+mkos_add_bench(event_queue)
 mkos_add_bench(perf_smoke)
 mkos_add_bench(resilience)
 mkos_add_gbench(micro_substrates)

@@ -1,13 +1,15 @@
 // Hot-path sampling microbenchmark: naive per-event noise draws vs the
 // analytic engine (Gamma-batched sums, moment-matched normals, inverse-CDF
-// maxima). The acceptance bar for the sampling rewrite is a >= 5x
+// maxima). The acceptance bar for the sampling rewrite started at a >= 5x
 // samples/sec advantage for NoiseModel::sample over the per-event loop it
-// replaced; this binary measures exactly that, plus the equivalent ratio
+// replaced and was ratcheted to >= 8x once the arena/SoA rewrite left that
+// much headroom; this binary measures exactly that, plus the equivalent ratio
 // for maximum-of-n draws, and cross-checks that both samplers agree on the
 // mean stolen fraction (they are distribution-equivalent, not bit-equal).
 //
 //   MKOS_HOTPATH_SAMPLES scales the timed iteration counts (default 20000).
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -90,34 +92,50 @@ int main() {
   // ------------------------------------------------------------------- sums
   // Same workload both sides: `samples` windows of 10 s of co-tenant Linux
   // noise (~390 events/window naive). Forked child streams keep the two
-  // measurements independent of each other and of iteration order.
+  // measurements independent of each other and of iteration order. Each side
+  // is timed kReps times with a fresh identically-seeded stream (so every rep
+  // draws the same variates and the deterministic ledger block stays
+  // byte-stable), interleaved so host drift hits both alike; the best wall
+  // time per side feeds the CI speedup bar.
+  constexpr int kReps = 3;
   SideResult naive;
-  {
-    sim::Rng rng = sim::Rng(42).fork(1);
-    double stolen_ns = 0.0;
-    // mkos-lint: allow(wall-clock) — host telemetry: sampler throughput.
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < samples; ++i) {
-      stolen_ns += naive_sample_ns(model, span, rng, &naive.events);
-    }
-    naive.wall_s = seconds_since(t0);
-    naive.mean_fraction =
-        stolen_ns / (static_cast<double>(samples) * static_cast<double>(span.ns()));
-  }
-
-  SideResult analytic;
   kernel::SampleCounters counters;
-  {
-    sim::Rng rng = sim::Rng(42).fork(2);
-    double stolen_ns = 0.0;
-    // mkos-lint: allow(wall-clock) — host telemetry: sampler throughput.
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < samples; ++i) {
-      stolen_ns += static_cast<double>(model.sample(span, rng, &counters).ns());
+  SideResult analytic;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      sim::Rng rng = sim::Rng(42).fork(1);
+      std::uint64_t events = 0;
+      double stolen_ns = 0.0;
+      // mkos-lint: allow(wall-clock) — host telemetry: sampler throughput.
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < samples; ++i) {
+        stolen_ns += naive_sample_ns(model, span, rng, &events);
+      }
+      const double wall = seconds_since(t0);
+      naive.wall_s = rep == 0 ? wall : std::min(naive.wall_s, wall);
+      if (rep == 0) {
+        naive.events = events;
+        naive.mean_fraction =
+            stolen_ns / (static_cast<double>(samples) * static_cast<double>(span.ns()));
+      }
     }
-    analytic.wall_s = seconds_since(t0);
-    analytic.mean_fraction =
-        stolen_ns / (static_cast<double>(samples) * static_cast<double>(span.ns()));
+    {
+      sim::Rng rng = sim::Rng(42).fork(2);
+      kernel::SampleCounters rep_counters;
+      double stolen_ns = 0.0;
+      // mkos-lint: allow(wall-clock) — host telemetry: sampler throughput.
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < samples; ++i) {
+        stolen_ns += static_cast<double>(model.sample(span, rng, &rep_counters).ns());
+      }
+      const double wall = seconds_since(t0);
+      analytic.wall_s = rep == 0 ? wall : std::min(analytic.wall_s, wall);
+      if (rep == 0) {
+        counters = rep_counters;
+        analytic.mean_fraction =
+            stolen_ns / (static_cast<double>(samples) * static_cast<double>(span.ns()));
+      }
+    }
   }
 
   const double naive_rate = static_cast<double>(samples) / naive.wall_s;
@@ -130,7 +148,8 @@ int main() {
   sums.add_row({"analytic", core::fmt(analytic_rate, 0),
                 std::to_string(counters.exact_events), core::fmt(analytic.mean_fraction, 6)});
   std::printf("%s\n", sums.to_string().c_str());
-  std::printf("sum speedup: %.1fx   (acceptance bar: >= 5x)\n", sum_speedup);
+  std::printf("sum speedup: %.1fx   (acceptance bar: >= 8x, ratcheted from 5x)\n",
+              sum_speedup);
   std::printf("expected fraction (closed form): %s\n\n",
               core::fmt(model.expected_fraction(), 6).c_str());
 

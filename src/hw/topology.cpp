@@ -22,76 +22,68 @@ NodeTopology::NodeTopology(std::string name, std::vector<Core> cores,
   for (const auto& c : cores_) max_q = std::max(max_q, c.quadrant);
   for (const auto& d : domains_) max_q = std::max(max_q, d.quadrant);
   quadrants_ = max_q + 1;
-}
 
-const Core& NodeTopology::core(CoreId id) const {
-  MKOS_EXPECTS(id >= 0 && id < core_count());
-  return cores_[static_cast<std::size_t>(id)];
-}
-
-const MemoryDomain& NodeTopology::domain(DomainId id) const {
-  MKOS_EXPECTS(id >= 0 && id < static_cast<DomainId>(domains_.size()));
-  return domains_[static_cast<std::size_t>(id)];
+  for (const MemKind kind : {MemKind::kMcdram, MemKind::kDdr4}) {
+    const std::size_t k = kind_index(kind);
+    for (const auto& d : domains_) {
+      if (d.kind != kind) continue;
+      kind_domains_[k].push_back(d.id);
+      capacity_by_kind_[k] += d.capacity;
+      bandwidth_by_kind_[k] += d.stream_gbps;
+    }
+  }
+  quadrant_domains_.resize(static_cast<std::size_t>(quadrants_));
+  in_quadrant_.assign(static_cast<std::size_t>(quadrants_), {-1, -1});
+  for (const auto& d : domains_) {
+    quadrant_domains_[static_cast<std::size_t>(d.quadrant)].push_back(d.id);
+    auto& slots = in_quadrant_[static_cast<std::size_t>(d.quadrant)];
+    if (slots[kind_index(d.kind)] < 0) slots[kind_index(d.kind)] = d.id;
+  }
+  fallback_.reserve(static_cast<std::size_t>(quadrants_));
+  for (int q = 0; q < quadrants_; ++q) {
+    DomainId home = domain_in_quadrant(q, MemKind::kDdr4);
+    if (home < 0) home = 0;
+    std::vector<DomainId> order;
+    order.reserve(domains_.size());
+    for (const auto& d : domains_) order.push_back(d.id);
+    std::sort(order.begin(), order.end(), [&](DomainId a, DomainId b) {
+      const int da = distance(home, a);
+      const int db = distance(home, b);
+      if (da != db) return da < db;
+      return a < b;
+    });
+    fallback_.push_back(std::move(order));
+  }
+  kind_major_.resize(static_cast<std::size_t>(quadrants_));
+  fallback_from_.resize(static_cast<std::size_t>(quadrants_));
+  for (int q = 0; q < quadrants_; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    for (const MemKind first : {MemKind::kMcdram, MemKind::kDdr4}) {
+      const MemKind second = first == MemKind::kMcdram ? MemKind::kDdr4 : MemKind::kMcdram;
+      std::vector<DomainId>& order = kind_major_[qi][kind_index(first)];
+      for (const MemKind kind : {first, second}) {
+        const DomainId local = domain_in_quadrant(q, kind);
+        if (local >= 0) order.push_back(local);
+        for (const DomainId d : kind_domains_[kind_index(kind)]) {
+          if (d != local) order.push_back(d);
+        }
+      }
+    }
+    fallback_from_[qi].resize(domains_.size());
+    for (std::size_t h = 0; h < domains_.size(); ++h) {
+      std::vector<DomainId>& order = fallback_from_[qi][h];
+      order.push_back(static_cast<DomainId>(h));
+      for (const DomainId d : fallback_[qi]) {
+        if (d != static_cast<DomainId>(h)) order.push_back(d);
+      }
+    }
+  }
 }
 
 int NodeTopology::distance(DomainId a, DomainId b) const {
   MKOS_EXPECTS(a >= 0 && a < static_cast<DomainId>(domains_.size()));
   MKOS_EXPECTS(b >= 0 && b < static_cast<DomainId>(domains_.size()));
   return distances_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
-}
-
-std::vector<DomainId> NodeTopology::domains_of_kind(MemKind kind) const {
-  std::vector<DomainId> out;
-  for (const auto& d : domains_) {
-    if (d.kind == kind) out.push_back(d.id);
-  }
-  return out;
-}
-
-std::vector<DomainId> NodeTopology::domains_of_quadrant(int quadrant) const {
-  std::vector<DomainId> out;
-  for (const auto& d : domains_) {
-    if (d.quadrant == quadrant) out.push_back(d.id);
-  }
-  return out;
-}
-
-DomainId NodeTopology::domain_in_quadrant(int quadrant, MemKind kind) const {
-  for (const auto& d : domains_) {
-    if (d.quadrant == quadrant && d.kind == kind) return d.id;
-  }
-  return -1;
-}
-
-std::vector<DomainId> NodeTopology::fallback_order(int quadrant) const {
-  DomainId home = domain_in_quadrant(quadrant, MemKind::kDdr4);
-  if (home < 0) home = 0;
-  std::vector<DomainId> order;
-  order.reserve(domains_.size());
-  for (const auto& d : domains_) order.push_back(d.id);
-  std::sort(order.begin(), order.end(), [&](DomainId a, DomainId b) {
-    const int da = distance(home, a);
-    const int db = distance(home, b);
-    if (da != db) return da < db;
-    return a < b;
-  });
-  return order;
-}
-
-sim::Bytes NodeTopology::total_capacity(MemKind kind) const {
-  sim::Bytes total = 0;
-  for (const auto& d : domains_) {
-    if (d.kind == kind) total += d.capacity;
-  }
-  return total;
-}
-
-double NodeTopology::total_bandwidth_gbps(MemKind kind) const {
-  double total = 0.0;
-  for (const auto& d : domains_) {
-    if (d.kind == kind) total += d.stream_gbps;
-  }
-  return total;
 }
 
 }  // namespace mkos::hw

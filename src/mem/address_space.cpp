@@ -11,41 +11,29 @@ constexpr sim::Bytes kMmapBase = 0x7f0000000000ULL;
 
 void Placement::add(hw::DomainId domain, PageSize page, sim::Bytes bytes) {
   if (bytes == 0) return;
-  for (auto& c : chunks_) {
-    if (c.domain == domain && c.page == page) {
-      c.bytes += bytes;
-      total_ += bytes;
-      return;
-    }
+  by_page_[static_cast<std::size_t>(page)] += bytes;
+  const auto d = static_cast<std::size_t>(domain);
+  if (d >= by_domain_.size()) {
+    by_domain_.resize(d + 1, 0);
+    chunk_idx_.resize((d + 1) * 3, -1);
   }
-  chunks_.push_back(Chunk{domain, page, bytes});
+  by_domain_[d] += bytes;
   total_ += bytes;
+  std::int32_t& idx = chunk_idx_[d * 3 + static_cast<std::size_t>(page)];
+  if (idx >= 0) {
+    chunks_[static_cast<std::size_t>(idx)].bytes += bytes;
+    return;
+  }
+  idx = static_cast<std::int32_t>(chunks_.size());
+  chunks_.push_back(Chunk{domain, page, bytes});
 }
 
 void Placement::clear() {
   chunks_.clear();
   total_ = 0;
-}
-
-sim::Bytes Placement::bytes_in_kind(const hw::NodeTopology& topo, hw::MemKind kind) const {
-  sim::Bytes b = 0;
-  for (const auto& c : chunks_) {
-    if (topo.domain(c.domain).kind == kind) b += c.bytes;
-  }
-  return b;
-}
-
-double Placement::fraction_in_kind(const hw::NodeTopology& topo, hw::MemKind kind) const {
-  if (total_ == 0) return 0.0;
-  return static_cast<double>(bytes_in_kind(topo, kind)) / static_cast<double>(total_);
-}
-
-sim::Bytes Placement::bytes_with_page(PageSize p) const {
-  sim::Bytes b = 0;
-  for (const auto& c : chunks_) {
-    if (c.page == p) b += c.bytes;
-  }
-  return b;
+  by_page_ = {};
+  by_domain_.clear();
+  chunk_idx_.clear();
 }
 
 AddressSpace::AddressSpace() : mmap_cursor_(kMmapBase) {}
@@ -60,8 +48,10 @@ Vma& AddressSpace::map(sim::Bytes length, VmaKind kind, MemPolicy policy) {
   vma.policy = std::move(policy);
   // Leave a guard gap so adjacent mappings never merge accidentally.
   mmap_cursor_ += len + 64 * sim::KiB;
-  auto [it, inserted] = vmas_.emplace(vma.start, std::move(vma));
-  MKOS_ENSURES(inserted);
+  // The cursor is strictly increasing, so insertion is always at the end.
+  const std::size_t before = vmas_.size();
+  auto it = vmas_.emplace_hint(vmas_.end(), vma.start, std::move(vma));
+  MKOS_ENSURES(vmas_.size() == before + 1);
   return it->second;
 }
 

@@ -4,6 +4,7 @@
 // process's working set sits in MCDRAM?" — the answer drives the roofline
 // compute model, so placement records are exact, not sampled.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -44,14 +45,33 @@ class Placement {
   void clear();
 
   [[nodiscard]] sim::Bytes total() const { return total_; }
-  [[nodiscard]] sim::Bytes bytes_in_kind(const hw::NodeTopology& topo, hw::MemKind kind) const;
-  [[nodiscard]] double fraction_in_kind(const hw::NodeTopology& topo, hw::MemKind kind) const;
-  [[nodiscard]] sim::Bytes bytes_with_page(PageSize p) const;
+  [[nodiscard]] sim::Bytes bytes_in_kind(const hw::NodeTopology& topo, hw::MemKind kind) const {
+    sim::Bytes b = 0;
+    for (std::size_t d = 0; d < by_domain_.size(); ++d) {
+      if (topo.domain(static_cast<hw::DomainId>(d)).kind == kind) b += by_domain_[d];
+    }
+    return b;
+  }
+  [[nodiscard]] double fraction_in_kind(const hw::NodeTopology& topo, hw::MemKind kind) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(bytes_in_kind(topo, kind)) / static_cast<double>(total_);
+  }
+  [[nodiscard]] sim::Bytes bytes_with_page(PageSize p) const {
+    return by_page_[static_cast<std::size_t>(p)];
+  }
   [[nodiscard]] const std::vector<Chunk>& chunks() const { return chunks_; }
 
  private:
   std::vector<Chunk> chunks_;
   sim::Bytes total_ = 0;
+  // Incremental aggregates maintained by add()/clear(): the engine reads
+  // per-page-size and per-domain volumes between every heap cycle, so the
+  // chunk-list scans those reads used to pay are folded into the writes.
+  std::array<sim::Bytes, 3> by_page_{};   ///< indexed by PageSize
+  std::vector<sim::Bytes> by_domain_;     ///< indexed by DomainId
+  /// (domain, page) -> index into chunks_, -1 when absent; turns add()'s
+  /// find-matching-chunk scan into one lookup.
+  std::vector<std::int32_t> chunk_idx_;
 };
 
 /// Protection bits (PROT_* subset).

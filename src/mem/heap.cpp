@@ -54,7 +54,7 @@ FaultBill fault_in(PhysMemory& phys, const MemCostModel& cost,
   const double contention = cost.contention(concurrent);
   for (hw::DomainId d : order) {
     if (remaining == 0) break;
-    auto got = phys.domain(d).alloc_best_effort(remaining, 4 * sim::KiB);
+    const auto& got = phys.domain(d).alloc_best_effort(remaining, 4 * sim::KiB);
     for (const auto& e : got) {
       extents.push_back(e);
       placement.add(d, PageSize::k4K, e.length);
@@ -79,17 +79,6 @@ std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) {
 
 }  // namespace
 
-void HeapEngine::replay_cycle(const HeapStats& before, const HeapStats& after) {
-  MKOS_EXPECTS(after.current == before.current);
-  MKOS_EXPECTS(after.max_break == before.max_break);
-  stats_.queries += after.queries - before.queries;
-  stats_.grows += after.grows - before.grows;
-  stats_.shrinks += after.shrinks - before.shrinks;
-  stats_.cum_growth += after.cum_growth - before.cum_growth;
-  stats_.faults += after.faults - before.faults;
-  stats_.zeroed += after.zeroed - before.zeroed;
-}
-
 // ---------------------------------------------------------------- LinuxHeap
 
 LinuxHeap::LinuxHeap(PhysMemory& phys, const hw::NodeTopology& topo, MemCostModel cost,
@@ -97,7 +86,7 @@ LinuxHeap::LinuxHeap(PhysMemory& phys, const hw::NodeTopology& topo, MemCostMode
     : phys_(phys), topo_(topo), cost_(cost), policy_(std::move(policy)),
       home_quadrant_(home_quadrant) {}
 
-sim::TimeNs LinuxHeap::sbrk(std::int64_t delta) {
+sim::TimeNs LinuxHeap::do_sbrk(std::int64_t delta) {
   sim::TimeNs t = cost_.syscall_entry;
   if (delta == 0) {
     ++stats_.queries;
@@ -123,11 +112,11 @@ sim::TimeNs LinuxHeap::sbrk(std::int64_t delta) {
   return t;
 }
 
-sim::TimeNs LinuxHeap::touch_new(int concurrent_faulters) {
+sim::TimeNs LinuxHeap::do_touch_new(int concurrent_faulters) {
   const sim::Bytes to_fault =
       stats_.current > placement_.total() ? stats_.current - placement_.total() : 0;
   if (to_fault == 0) return sim::TimeNs{0};
-  const auto order = linux_domain_order(topo_, policy_, home_quadrant_);
+  const auto& order = linux_domain_order(topo_, policy_, home_quadrant_);
   const FaultBill bill =
       fault_in(phys_, cost_, order, extents_, placement_, to_fault, concurrent_faulters);
   stats_.faults += bill.faults;
@@ -140,7 +129,7 @@ sim::TimeNs LinuxHeap::touch_new(int concurrent_faulters) {
 // per-byte costs are domain-independent, so the chunk composition (which
 // quadrant's domain backs which byte) never enters a cycle's price and can
 // legitimately differ between lanes the fast path treats as identical.
-std::uint64_t LinuxHeap::state_fingerprint() const {
+std::uint64_t LinuxHeap::compute_fingerprint() const {
   std::uint64_t h = 0x243f6a8885a308d3ULL;  // class tag
   h = fp_mix(h, stats_.current);
   h = fp_mix(h, stats_.max_break);
@@ -166,10 +155,10 @@ sim::TimeNs LwkHeap::grow_backing(sim::Bytes target) {
   sim::TimeNs t{0};
   if (target <= backed_) return t;
   sim::Bytes need = target - backed_;
-  const auto order = lwk_domain_order(topo_, home_quadrant_, options_.prefer_mcdram);
+  const auto& order = lwk_domain_order(topo_, home_quadrant_, options_.prefer_mcdram);
   for (hw::DomainId d : order) {
     if (need == 0) break;
-    auto got = phys_.domain(d).alloc_best_effort(need, options_.growth_granule);
+    const auto& got = phys_.domain(d).alloc_best_effort(need, options_.growth_granule);
     for (const auto& e : got) {
       extents_.push_back(e);
       const PageSize page =
@@ -191,7 +180,7 @@ sim::TimeNs LwkHeap::grow_backing(sim::Bytes target) {
   return t;
 }
 
-sim::TimeNs LwkHeap::sbrk(std::int64_t delta) {
+sim::TimeNs LwkHeap::do_sbrk(std::int64_t delta) {
   sim::TimeNs t = cost_.syscall_entry;
   if (delta == 0) {
     ++stats_.queries;
@@ -232,11 +221,11 @@ sim::TimeNs LwkHeap::sbrk(std::int64_t delta) {
   return t;
 }
 
-sim::TimeNs LwkHeap::touch_new(int concurrent_faulters) {
+sim::TimeNs LwkHeap::do_touch_new(int concurrent_faulters) {
   if (options_.hpc_mode) return sim::TimeNs{0};  // never faults
   const sim::Bytes to_fault = stats_.current > backed_ ? stats_.current - backed_ : 0;
   if (to_fault == 0) return sim::TimeNs{0};
-  const auto order = lwk_domain_order(topo_, home_quadrant_, options_.prefer_mcdram);
+  const auto& order = lwk_domain_order(topo_, home_quadrant_, options_.prefer_mcdram);
   const FaultBill bill =
       fault_in(phys_, cost_, order, extents_, placement_, to_fault, concurrent_faulters);
   stats_.faults += bill.faults;
@@ -246,7 +235,7 @@ sim::TimeNs LwkHeap::touch_new(int concurrent_faulters) {
   return bill.cost;
 }
 
-std::uint64_t LwkHeap::state_fingerprint() const {
+std::uint64_t LwkHeap::compute_fingerprint() const {
   std::uint64_t h = 0x13198a2e03707344ULL;  // class tag
   h = fp_mix(h, stats_.current);
   h = fp_mix(h, stats_.max_break);

@@ -44,16 +44,29 @@ class HeapEngine {
 
   /// sbrk(delta): delta == 0 queries, > 0 grows, < 0 shrinks (clamped at 0).
   /// Returns the cost of the call itself (syscall + any mapping work).
-  virtual sim::TimeNs sbrk(std::int64_t delta) = 0;
+  sim::TimeNs sbrk(std::int64_t delta) {
+    ++rev_;
+    return do_sbrk(delta);
+  }
 
   /// Cost of the application touching every byte grown since the last call
   /// (page faults + zeroing for demand-paged heaps; zero for HPC heaps).
   /// `concurrent_faulters`: ranks on this node concurrently in the fault path.
-  virtual sim::TimeNs touch_new(int concurrent_faulters) = 0;
+  sim::TimeNs touch_new(int concurrent_faulters) {
+    ++rev_;
+    return do_touch_new(concurrent_faulters);
+  }
 
   /// The process changed its NUMA policy (set_mempolicy); demand-paged heaps
-  /// place subsequent faults accordingly. Default: ignored.
-  virtual void set_policy(const MemPolicy& policy) { (void)policy; }
+  /// place subsequent faults accordingly.
+  void set_policy(const MemPolicy& policy) {
+    ++rev_;
+    do_set_policy(policy);
+  }
+
+  /// The engine's physical placement record, or nullptr when it keeps none.
+  /// Lets hot read paths reach the placement without a dynamic_cast.
+  [[nodiscard]] virtual const Placement* placement_or_null() const { return nullptr; }
 
   /// O(1) hash of the cost-relevant heap state: break offset, backing
   /// volume and policy — the scalars that determine how many bytes a future
@@ -63,18 +76,67 @@ class HeapEngine {
   /// so that a brk cycle which restores the heap shape maps to the same
   /// fingerprint. Used by the symmetric-lane fast path in
   /// MpiWorld::heap_cycle to detect lanes in identical states.
-  [[nodiscard]] virtual std::uint64_t state_fingerprint() const = 0;
+  ///
+  /// Memoized against a mutation revision counter: the SPMD steady state
+  /// fingerprints every lane between every cycle, so recomputing the hash
+  /// only after sbrk/touch_new/set_policy turns the dominant profile entry
+  /// into a counter compare. replay_cycle() deliberately does not bump the
+  /// revision — it advances only the monotone counters the hash excludes.
+  [[nodiscard]] std::uint64_t state_fingerprint() const {
+    if (fp_rev_ != rev_) {
+      fp_cache_ = compute_fingerprint();
+      fp_rev_ = rev_;
+    }
+    return fp_cache_;
+  }
 
   /// Replay the counter deltas of a simulated representative cycle onto this
   /// engine without re-simulating it. Precondition (checked): the cycle left
   /// the representative's state untouched (current/max_break unchanged), so
-  /// only monotone counters advance.
-  void replay_cycle(const HeapStats& before, const HeapStats& after);
+  /// only monotone counters advance. Header-inline: the fast path calls this
+  /// once per lane per cycle, so call overhead was measurable.
+  void replay_cycle(const HeapStats& before, const HeapStats& after) {
+    apply_replay_delta(replay_delta(before, after));
+  }
+
+  /// The monotone-counter delta of a state-neutral cycle, checked once so a
+  /// replay across many lanes can apply the subtraction-free form below.
+  [[nodiscard]] static HeapStats replay_delta(const HeapStats& before, const HeapStats& after) {
+    MKOS_EXPECTS(after.current == before.current);
+    MKOS_EXPECTS(after.max_break == before.max_break);
+    HeapStats d;
+    d.queries = after.queries - before.queries;
+    d.grows = after.grows - before.grows;
+    d.shrinks = after.shrinks - before.shrinks;
+    d.cum_growth = after.cum_growth - before.cum_growth;
+    d.faults = after.faults - before.faults;
+    d.zeroed = after.zeroed - before.zeroed;
+    return d;
+  }
+
+  void apply_replay_delta(const HeapStats& d) {
+    stats_.queries += d.queries;
+    stats_.grows += d.grows;
+    stats_.shrinks += d.shrinks;
+    stats_.cum_growth += d.cum_growth;
+    stats_.faults += d.faults;
+    stats_.zeroed += d.zeroed;
+  }
 
   [[nodiscard]] const HeapStats& stats() const { return stats_; }
 
  protected:
+  virtual sim::TimeNs do_sbrk(std::int64_t delta) = 0;
+  virtual sim::TimeNs do_touch_new(int concurrent_faulters) = 0;
+  virtual void do_set_policy(const MemPolicy& policy) { (void)policy; }
+  [[nodiscard]] virtual std::uint64_t compute_fingerprint() const = 0;
+
   HeapStats stats_;
+
+ private:
+  std::uint64_t rev_ = 1;
+  mutable std::uint64_t fp_rev_ = 0;
+  mutable std::uint64_t fp_cache_ = 0;
 };
 
 /// Linux brk(): demand-paged 4 KiB heap.
@@ -83,14 +145,16 @@ class LinuxHeap final : public HeapEngine {
   LinuxHeap(PhysMemory& phys, const hw::NodeTopology& topo, MemCostModel cost,
             MemPolicy policy, int home_quadrant);
 
-  sim::TimeNs sbrk(std::int64_t delta) override;
-  sim::TimeNs touch_new(int concurrent_faulters) override;
-  void set_policy(const MemPolicy& policy) override { policy_ = policy; }
-  [[nodiscard]] std::uint64_t state_fingerprint() const override;
-
   /// Physically backed (faulted-in) heap bytes.
   [[nodiscard]] sim::Bytes backed() const { return placement_.total(); }
   [[nodiscard]] const Placement& placement() const { return placement_; }
+  [[nodiscard]] const Placement* placement_or_null() const override { return &placement_; }
+
+ protected:
+  sim::TimeNs do_sbrk(std::int64_t delta) override;
+  sim::TimeNs do_touch_new(int concurrent_faulters) override;
+  void do_set_policy(const MemPolicy& policy) override { policy_ = policy; }
+  [[nodiscard]] std::uint64_t compute_fingerprint() const override;
 
  private:
   PhysMemory& phys_;
@@ -118,14 +182,16 @@ class LwkHeap final : public HeapEngine {
   LwkHeap(PhysMemory& phys, const hw::NodeTopology& topo, MemCostModel cost,
           LwkHeapOptions options, int home_quadrant);
 
-  sim::TimeNs sbrk(std::int64_t delta) override;
-  sim::TimeNs touch_new(int concurrent_faulters) override;
-  [[nodiscard]] std::uint64_t state_fingerprint() const override;
-
   [[nodiscard]] const LwkHeapOptions& options() const { return options_; }
   /// Physically backed extent of the heap (>= stats().current in HPC mode).
   [[nodiscard]] sim::Bytes backed() const { return backed_; }
   [[nodiscard]] const Placement& placement() const { return placement_; }
+  [[nodiscard]] const Placement* placement_or_null() const override { return &placement_; }
+
+ protected:
+  sim::TimeNs do_sbrk(std::int64_t delta) override;
+  sim::TimeNs do_touch_new(int concurrent_faulters) override;
+  [[nodiscard]] std::uint64_t compute_fingerprint() const override;
 
  private:
   sim::TimeNs grow_backing(sim::Bytes target);

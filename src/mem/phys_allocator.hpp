@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -48,7 +47,11 @@ class DomainAllocator {
   /// Allocate up to `length` bytes as multiple extents, each aligned to and
   /// a multiple of `granule` (the page size being mapped). May return less
   /// than requested; the caller decides whether to spill to another domain.
-  std::vector<Extent> alloc_best_effort(sim::Bytes length, sim::Bytes granule);
+  /// Returns a reference to an internal scratch buffer that the next
+  /// alloc_best_effort call on this allocator overwrites — consume it before
+  /// allocating again (the fault paths call this once per spill step, so the
+  /// reuse removes one heap allocation per step).
+  const std::vector<Extent>& alloc_best_effort(sim::Bytes length, sim::Bytes granule);
 
   /// Fault-injection hook, consulted once at the top of each public
   /// allocation call (never on internal retries). Returning true denies the
@@ -70,13 +73,28 @@ class DomainAllocator {
   /// Number of distinct free extents (fragmentation indicator).
   [[nodiscard]] std::size_t free_extent_count() const { return free_.size(); }
 
+  /// One entry of the free map: a maximal free run [start, start + length).
+  struct FreeExtent {
+    sim::Bytes start = 0;
+    sim::Bytes length = 0;
+  };
+
   /// O(1) hash of the free-map state (volume, extent count, boundary
   /// extents). A sequence of allocations exactly undone by frees maps back
   /// to the same fingerprint; used by the symmetric-lane heap fast path to
-  /// verify a brk cycle left the allocator where it found it.
-  [[nodiscard]] std::uint64_t state_fingerprint() const;
+  /// verify a brk cycle left the allocator where it found it. Memoized
+  /// against a mutation revision: the fast path probes it on every cycle,
+  /// mutations are comparatively rare.
+  [[nodiscard]] std::uint64_t state_fingerprint() const {
+    if (fp_rev_ != rev_) {
+      fp_cache_ = compute_fingerprint();
+      fp_rev_ = rev_;
+    }
+    return fp_cache_;
+  }
 
  private:
+  [[nodiscard]] std::uint64_t compute_fingerprint() const;
   void insert_free(sim::Bytes start, sim::Bytes length);
   /// alloc_contiguous without the fault hook (internal callers that already
   /// passed the injection gate for the whole request).
@@ -85,8 +103,17 @@ class DomainAllocator {
   hw::DomainId id_;
   sim::Bytes capacity_;
   sim::Bytes free_bytes_;
-  std::map<sim::Bytes, sim::Bytes> free_;  // start -> length, coalesced
+  /// Free map as a flat vector sorted by start, coalesced. Domains hold a
+  /// handful of extents, so first-fit scans and lower_bound insertions are
+  /// contiguous loads and a short memmove — the node-based map this
+  /// replaces paid an allocation and a pointer chase per carve on the
+  /// hottest setup path in the simulator.
+  std::vector<FreeExtent> free_;
+  std::vector<Extent> best_effort_scratch_;
   FaultHook fault_hook_;
+  std::uint64_t rev_ = 1;  // bumped by every free-map mutation
+  mutable std::uint64_t fp_rev_ = 0;
+  mutable std::uint64_t fp_cache_ = 0;
 };
 
 /// All domains of one node.
@@ -94,8 +121,14 @@ class PhysMemory {
  public:
   explicit PhysMemory(const hw::NodeTopology& topo);
 
-  [[nodiscard]] DomainAllocator& domain(hw::DomainId id);
-  [[nodiscard]] const DomainAllocator& domain(hw::DomainId id) const;
+  [[nodiscard]] DomainAllocator& domain(hw::DomainId id) {
+    MKOS_EXPECTS(id >= 0 && id < domain_count());
+    return domains_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const DomainAllocator& domain(hw::DomainId id) const {
+    MKOS_EXPECTS(id >= 0 && id < domain_count());
+    return domains_[static_cast<std::size_t>(id)];
+  }
   [[nodiscard]] int domain_count() const { return static_cast<int>(domains_.size()); }
 
   [[nodiscard]] sim::Bytes free_bytes_of_kind(const hw::NodeTopology& topo,

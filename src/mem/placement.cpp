@@ -27,40 +27,22 @@ sim::TimeNs pte_cost(const MemCostModel& cost, sim::Bytes bytes, PageSize page) 
 
 }  // namespace
 
-std::vector<hw::DomainId> lwk_domain_order(const hw::NodeTopology& topo, int home_quadrant,
-                                           bool prefer_mcdram) {
-  std::vector<hw::DomainId> order;
-  auto push_kind = [&](hw::MemKind kind) {
-    const hw::DomainId local = topo.domain_in_quadrant(home_quadrant, kind);
-    if (local >= 0) order.push_back(local);
-    for (hw::DomainId d : topo.domains_of_kind(kind)) {
-      if (d != local) order.push_back(d);
-    }
-  };
-  if (prefer_mcdram) {
-    push_kind(hw::MemKind::kMcdram);
-    push_kind(hw::MemKind::kDdr4);
-  } else {
-    push_kind(hw::MemKind::kDdr4);
-    push_kind(hw::MemKind::kMcdram);
-  }
-  return order;
+const std::vector<hw::DomainId>& lwk_domain_order(const hw::NodeTopology& topo,
+                                                  int home_quadrant, bool prefer_mcdram) {
+  return topo.kind_major_order(
+      home_quadrant, prefer_mcdram ? hw::MemKind::kMcdram : hw::MemKind::kDdr4);
 }
 
-std::vector<hw::DomainId> linux_domain_order(const hw::NodeTopology& topo,
-                                             const MemPolicy& policy, int home_quadrant) {
+const std::vector<hw::DomainId>& linux_domain_order(const hw::NodeTopology& topo,
+                                                    const MemPolicy& policy,
+                                                    int home_quadrant) {
   switch (policy.mode) {
     case PolicyMode::kBind:
     case PolicyMode::kInterleave:
       return policy.domains;
-    case PolicyMode::kPreferred: {
+    case PolicyMode::kPreferred:
       MKOS_EXPECTS(policy.domains.size() == 1);  // the Linux limitation
-      std::vector<hw::DomainId> order{policy.domains[0]};
-      for (hw::DomainId d : topo.fallback_order(home_quadrant)) {
-        if (d != policy.domains[0]) order.push_back(d);
-      }
-      return order;
-    }
+      return topo.fallback_order_from(home_quadrant, policy.domains[0]);
     case PolicyMode::kDefault:
       return topo.fallback_order(home_quadrant);
   }
@@ -72,20 +54,23 @@ PlaceResult place_lwk(PhysMemory& phys, const hw::NodeTopology& topo,
   MKOS_EXPECTS(req.bytes > 0);
   PlaceResult res;
 
-  std::vector<hw::DomainId> order;
+  std::vector<hw::DomainId> merged;
+  const std::vector<hw::DomainId>* order_ptr;
   if (req.policy.mode == PolicyMode::kDefault) {
-    order = lwk_domain_order(topo, req.home_quadrant, req.prefer_mcdram);
+    order_ptr = &lwk_domain_order(topo, req.home_quadrant, req.prefer_mcdram);
   } else {
     // McKernel "implements the standard NUMA APIs" — an explicit policy wins
     // over the LWK spill order, but the LWK still appends a DDR4 fallback so
     // it can "silently fall back to DDR4 RAM once they run out of MCDRAM".
-    order = linux_domain_order(topo, req.policy, req.home_quadrant);
+    merged = linux_domain_order(topo, req.policy, req.home_quadrant);
     if (req.policy.mode != PolicyMode::kBind) {
       for (hw::DomainId d : lwk_domain_order(topo, req.home_quadrant, false)) {
-        if (std::find(order.begin(), order.end(), d) == order.end()) order.push_back(d);
+        if (std::find(merged.begin(), merged.end(), d) == merged.end()) merged.push_back(d);
       }
     }
+    order_ptr = &merged;
   }
+  const std::vector<hw::DomainId>& order = *order_ptr;
 
   sim::Bytes remaining = sim::align_up(req.bytes, 4 * sim::KiB);
   sim::Bytes quota_left = req.mcdram_quota == PlaceRequest::kNoQuota
@@ -114,7 +99,7 @@ PlaceResult place_lwk(PhysMemory& phys, const hw::NodeTopology& topo,
       const sim::Bytes granule = page_bytes(page);
       const sim::Bytes ask = sim::align_down(want, granule);
       if (ask == 0) continue;
-      auto extents = alloc.alloc_best_effort(ask, granule);
+      const auto& extents = alloc.alloc_best_effort(ask, granule);
       for (const auto& e : extents) {
         res.extents.push_back(e);
         res.placement.add(d, page, e.length);
@@ -173,7 +158,7 @@ TouchResult touch(PhysMemory& phys, const hw::NodeTopology& topo, const MemCostM
   sim::Bytes remaining = std::min(bytes, vma.unbacked());
   if (remaining == 0) return res;
 
-  const std::vector<hw::DomainId> order =
+  const std::vector<hw::DomainId>& order =
       vma.touch_lwk_order ? lwk_domain_order(topo, home_quadrant, true)
                           : linux_domain_order(topo, vma.policy, home_quadrant);
   const double contention = cost.contention(concurrent_faulters);
@@ -206,7 +191,7 @@ TouchResult touch(PhysMemory& phys, const hw::NodeTopology& topo, const MemCostM
       sim::Bytes ask =
           sim::align_up(std::min(remaining, sim::Bytes{64} * sim::MiB), granule);
       if (page == PageSize::k2M) ask = std::min(ask, thp_budget);
-      auto extents = alloc.alloc_best_effort(ask, granule);
+      const auto& extents = alloc.alloc_best_effort(ask, granule);
       if (extents.empty()) break;  // domain exhausted; next in fallback order
       for (const auto& e : extents) {
         vma.extents.push_back(e);

@@ -93,14 +93,15 @@ struct TouchResult {
                                 const MemCostModel& cost, Vma& vma, sim::Bytes bytes,
                                 int home_quadrant, int concurrent_faulters);
 
-/// Domain order a Linux first-touch walks for the given policy.
-[[nodiscard]] std::vector<hw::DomainId> linux_domain_order(const hw::NodeTopology& topo,
-                                                           const MemPolicy& policy,
-                                                           int home_quadrant);
+/// Domain order a Linux first-touch walks for the given policy. Returns a
+/// reference into the topology's precomputed tables (or the policy's own
+/// domain list for Bind/Interleave) — both outlive any placement call.
+[[nodiscard]] const std::vector<hw::DomainId>& linux_domain_order(
+    const hw::NodeTopology& topo, const MemPolicy& policy, int home_quadrant);
 
-/// Domain order an LWK placement walks (MCDRAM-first spill order).
-[[nodiscard]] std::vector<hw::DomainId> lwk_domain_order(const hw::NodeTopology& topo,
-                                                         int home_quadrant,
-                                                         bool prefer_mcdram);
+/// Domain order an LWK placement walks (MCDRAM-first spill order). Returns a
+/// reference into the topology's precomputed tables.
+[[nodiscard]] const std::vector<hw::DomainId>& lwk_domain_order(
+    const hw::NodeTopology& topo, int home_quadrant, bool prefer_mcdram);
 
 }  // namespace mkos::mem

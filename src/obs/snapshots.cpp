@@ -86,11 +86,49 @@ void record_world(RunLedger& ledger, const runtime::MpiWorld& world) {
 void record_job(RunLedger& ledger, runtime::Job& job) {
   record_kernel(ledger, job.kernel());
   const hw::NodeTopology& topo = job.kernel().topo();
+  // Aggregate across lanes before touching the ledger: incr() is additive
+  // and every lane emits the same fixed name set, so one bulk update per
+  // name produces byte-identical JSON to the per-lane loop while paying
+  // each name lookup once per job instead of once per lane (and per VMA).
+  mem::HeapStats heap_sum;
+  bool any_heap = false;
+  sim::Bytes by_page[3] = {0, 0, 0};
+  sim::Bytes mcdram = 0;
+  sim::Bytes ddr4 = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t vmas = 0;
   for (int i = 0; i < job.lane_count(); ++i) {
     const kernel::Process& p = job.lane(i);
-    if (p.heap() != nullptr) record_heap(ledger, p.heap()->stats());
-    record_address_space(ledger, p.address_space(), topo);
+    if (p.heap() != nullptr) {
+      const mem::HeapStats& s = p.heap()->stats();
+      heap_sum.queries += s.queries;
+      heap_sum.grows += s.grows;
+      heap_sum.shrinks += s.shrinks;
+      heap_sum.cum_growth += s.cum_growth;
+      heap_sum.faults += s.faults;
+      heap_sum.zeroed += s.zeroed;
+      any_heap = true;
+    }
+    const mem::AddressSpace& as = p.address_space();
+    as.for_each([&](const mem::Vma& vma) {
+      const mem::Placement& pl = vma.placement;
+      by_page[0] += pl.bytes_with_page(mem::PageSize::k4K);
+      by_page[1] += pl.bytes_with_page(mem::PageSize::k2M);
+      by_page[2] += pl.bytes_with_page(mem::PageSize::k1G);
+      mcdram += pl.bytes_in_kind(topo, hw::MemKind::kMcdram);
+      ddr4 += pl.bytes_in_kind(topo, hw::MemKind::kDdr4);
+    });
+    faults += as.total_faults();
+    vmas += as.vma_count();
   }
+  if (any_heap) record_heap(ledger, heap_sum);
+  ledger.incr("mem.bytes_4k", by_page[0]);
+  ledger.incr("mem.bytes_2m", by_page[1]);
+  ledger.incr("mem.bytes_1g", by_page[2]);
+  ledger.incr("mem.bytes_mcdram", mcdram);
+  ledger.incr("mem.bytes_ddr4", ddr4);
+  ledger.incr("mem.faults", faults);
+  ledger.incr("mem.vmas", vmas);
 }
 
 void record_faults(RunLedger& ledger, const fault::Counters& c) {

@@ -71,14 +71,12 @@ double Job::lane_effective_gbps(int i) const {
     in_4k += v.placement.bytes_with_page(mem::PageSize::k4K);
     in_1g += v.placement.bytes_with_page(mem::PageSize::k1G);
   });
-  if (const auto* lwk = dynamic_cast<const mem::LwkHeap*>(p.heap())) {
-    res += lwk->placement().total();
-    in_mcdram += lwk->placement().bytes_in_kind(topo, hw::MemKind::kMcdram);
-    in_4k += lwk->placement().bytes_with_page(mem::PageSize::k4K);
-  } else if (const auto* lin = dynamic_cast<const mem::LinuxHeap*>(p.heap())) {
-    res += lin->placement().total();
-    in_mcdram += lin->placement().bytes_in_kind(topo, hw::MemKind::kMcdram);
-    in_4k += lin->placement().bytes_with_page(mem::PageSize::k4K);
+  const mem::Placement* hp =
+      p.heap() != nullptr ? p.heap()->placement_or_null() : nullptr;
+  if (hp != nullptr) {
+    res += hp->total();
+    in_mcdram += hp->bytes_in_kind(topo, hw::MemKind::kMcdram);
+    in_4k += hp->bytes_with_page(mem::PageSize::k4K);
   }
   if (res == 0) {
     // Nothing resident yet: assume the DDR4 rate.

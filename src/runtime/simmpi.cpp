@@ -10,9 +10,6 @@ namespace mkos::runtime {
 
 namespace {
 
-/// Cost caches stay this small; past it, recompute (deterministically).
-constexpr std::size_t kCostCacheCap = 64;
-
 std::uint64_t phys_mix(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   h *= 0xbf58476d1ce4e5b9ULL;
@@ -39,7 +36,7 @@ MpiWorld::MpiWorld(Job& job, std::uint64_t noise_seed)
       extremes_(job.kernel().noise()),
       coll_extremes_(job.kernel().collective_noise()),
       rng_(noise_seed) {
-  lane_pending_.assign(static_cast<std::size_t>(job.lane_count()), sim::TimeNs{0});
+  lanes_.pending_ns.assign(static_cast<std::size_t>(job.lane_count()), 0);
   const auto& net = job_.machine().cluster.network();
   // Average hop count for a random peer — constant for the job's node count,
   // so computed once instead of on every halo/shift message.
@@ -48,7 +45,8 @@ MpiWorld::MpiWorld(Job& job, std::uint64_t noise_seed)
 }
 
 void MpiWorld::refresh_lanes() {
-  lane_gbps_.resize(static_cast<std::size_t>(job_.lane_count()));
+  lanes_.gbps.resize(static_cast<std::size_t>(job_.lane_count()));
+  lanes_.heaps.resize(static_cast<std::size_t>(job_.lane_count()));
   if (job_.lane_count() == 0) {
     // No lanes: nothing to min over — leave a safe, recognizable default
     // rather than the +inf-like scan sentinel.
@@ -59,9 +57,10 @@ void MpiWorld::refresh_lanes() {
   min_lane_gbps_ = 1e30;
   lanes_uniform_ = true;
   for (int i = 0; i < job_.lane_count(); ++i) {
-    lane_gbps_[static_cast<std::size_t>(i)] = job_.lane_effective_gbps(i);
-    min_lane_gbps_ = std::min(min_lane_gbps_, lane_gbps_[static_cast<std::size_t>(i)]);
-    if (lane_gbps_[static_cast<std::size_t>(i)] != lane_gbps_[0]) lanes_uniform_ = false;
+    lanes_.gbps[static_cast<std::size_t>(i)] = job_.lane_effective_gbps(i);
+    min_lane_gbps_ = std::min(min_lane_gbps_, lanes_.gbps[static_cast<std::size_t>(i)]);
+    if (lanes_.gbps[static_cast<std::size_t>(i)] != lanes_.gbps[0]) lanes_uniform_ = false;
+    lanes_.heaps[static_cast<std::size_t>(i)] = job_.lane(i).heap();
   }
   MKOS_ENSURES(min_lane_gbps_ > 0.0 && min_lane_gbps_ < 1e30);
 }
@@ -70,6 +69,7 @@ void MpiWorld::set_fast_paths(bool on) {
   fast_paths_ = on;
   coll_cache_.clear();
   msg_cache_.clear();
+  heap_memo_.clear();
 }
 
 void MpiWorld::mpi_init(sim::Bytes shm_segment_bytes) {
@@ -84,7 +84,7 @@ std::uint64_t MpiWorld::global_cores() const {
 }
 
 void MpiWorld::compute_bytes(sim::Bytes bytes_per_rank) {
-  if (lane_pending_.empty()) return;
+  if (lanes_.size() == 0) return;
   if (fast_paths_ && lanes_uniform_) {
     // Every lane gets the same increment, so the per-sync maximum shifts by
     // exactly that increment: fold it into the uniform accumulator. The ns
@@ -96,16 +96,17 @@ void MpiWorld::compute_bytes(sim::Bytes bytes_per_rank) {
     return;
   }
   ++engine_.compute_lane_loops;
-  for (std::size_t i = 0; i < lane_pending_.size(); ++i) {
-    const double ns = static_cast<double>(bytes_per_rank) / (lane_gbps_[i] * 1e9) * 1e9;
-    lane_pending_[i] += sim::from_double_ns(ns);
+  lane_pending_dirty_ = true;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const double ns = static_cast<double>(bytes_per_rank) / (lanes_.gbps[i] * 1e9) * 1e9;
+    lanes_.pending_ns[i] += sim::from_double_ns(ns).ns();
   }
 }
 
 void MpiWorld::compute_bytes_scaled(sim::Bytes bytes_per_rank,
                                     const std::vector<double>& lane_scale) {
   MKOS_EXPECTS(!lane_scale.empty());
-  if (lane_pending_.empty()) return;
+  if (lanes_.size() == 0) return;
   if (fast_paths_ && lanes_uniform_) {
     const bool flat =
         std::all_of(lane_scale.begin(), lane_scale.end(),
@@ -118,22 +119,24 @@ void MpiWorld::compute_bytes_scaled(sim::Bytes bytes_per_rank,
     }
     // Uniform bandwidth, non-flat scale: one division per distinct scale
     // entry instead of one per lane.
-    std::vector<sim::TimeNs> per_scale(lane_scale.size());
+    std::vector<std::int64_t> per_scale(lane_scale.size());
     for (std::size_t j = 0; j < lane_scale.size(); ++j) {
       const double scaled = static_cast<double>(bytes_per_rank) * lane_scale[j];
-      per_scale[j] = sim::from_double_ns(scaled / (min_lane_gbps_ * 1e9) * 1e9);
+      per_scale[j] = sim::from_double_ns(scaled / (min_lane_gbps_ * 1e9) * 1e9).ns();
     }
     ++engine_.compute_lane_loops;
-    for (std::size_t i = 0; i < lane_pending_.size(); ++i) {
-      lane_pending_[i] += per_scale[i % per_scale.size()];
+    lane_pending_dirty_ = true;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      lanes_.pending_ns[i] += per_scale[i % per_scale.size()];
     }
     return;
   }
   ++engine_.compute_lane_loops;
-  for (std::size_t i = 0; i < lane_pending_.size(); ++i) {
+  lane_pending_dirty_ = true;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
     const double scaled =
         static_cast<double>(bytes_per_rank) * lane_scale[i % lane_scale.size()];
-    lane_pending_[i] += sim::from_double_ns(scaled / (lane_gbps_[i] * 1e9) * 1e9);
+    lanes_.pending_ns[i] += sim::from_double_ns(scaled / (lanes_.gbps[i] * 1e9) * 1e9).ns();
   }
 }
 
@@ -155,6 +158,19 @@ void MpiWorld::syscall(kernel::Sys s, int count_per_rank, sim::Bytes payload) {
   pending_uniform_ += job_.kernel().priced(s, payload) * count_per_rank;
 }
 
+const MpiWorld::HeapCycleMemo* MpiWorld::find_heap_memo(
+    std::span<const std::int64_t> deltas, std::uint64_t fp0,
+    std::uint64_t phys_fp, int faulters) const {
+  for (const HeapCycleMemo& m : heap_memo_) {
+    if (m.fp0 == fp0 && m.phys_fp == phys_fp && m.faulters == faulters &&
+        m.deltas.size() == deltas.size() &&
+        std::equal(m.deltas.begin(), m.deltas.end(), deltas.begin())) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
 void MpiWorld::heap_cycle(std::span<const std::int64_t> deltas) {
   kernel::Kernel& k = job_.kernel();
   const int lanes = job_.lane_count();
@@ -167,19 +183,48 @@ void MpiWorld::heap_cycle(std::span<const std::int64_t> deltas) {
 
   // Symmetric-lane detection: in the common SPMD steady state every lane's
   // heap is in the same (cost-relevant) state, so one representative cycle
-  // prices all of them.
+  // prices all of them. The per-lane fingerprints are revision-cached, so
+  // this scan is a contiguous compare in the steady state.
   bool symmetric = fast_paths_ && lanes > 1;
   std::uint64_t fp0 = 0;
   if (symmetric) {
-    fp0 = job_.lane(0).heap()->state_fingerprint();
+    fp0 = lanes_.heaps[0]->state_fingerprint();
     for (int i = 1; symmetric && i < lanes; ++i) {
-      symmetric = job_.lane(i).heap()->state_fingerprint() == fp0;
+      symmetric = lanes_.heaps[i]->state_fingerprint() == fp0;
     }
   }
   const std::uint64_t phys_before = symmetric ? phys_fingerprint(k.phys()) : 0;
-  const mem::HeapStats stats_before = job_.lane(0).heap()->stats();
+
+  // Whole-cycle memo: this exact delta sequence already ran from this exact
+  // (heap, phys) fingerprint state and proved state-neutral, so the heaps
+  // and the allocator end where they started and the cost and counter
+  // deltas replay verbatim — for the representative too. The brk path draws
+  // no randomness, so skipping the simulation perturbs no RNG stream, and
+  // the engine/kernel counters advance exactly as the simulate-one /
+  // replay-rest path below would have.
+  if (symmetric) {
+    if (const HeapCycleMemo* m = find_heap_memo(deltas, fp0, phys_before, faulters)) {
+      for (int i = 0; i < lanes; ++i) {
+        lanes_.heaps[static_cast<std::size_t>(i)]->apply_replay_delta(m->delta);
+      }
+      // The replayed cost is uniform across lanes, and a uniform increment
+      // commutes with synchronize()'s max reduction — so it accumulates in
+      // pending_uniform_ instead of touching every per-lane slot.
+      pending_uniform_ += m->cost0;
+      k.note_replayed_local_calls(static_cast<std::uint64_t>(deltas.size()) *
+                                  static_cast<std::uint64_t>(lanes));
+      ++engine_.heap_slow_lanes;
+      engine_.heap_fast_lanes += static_cast<std::uint64_t>(lanes - 1);
+      ++engine_.heap_memo_hits;
+      return;
+    }
+  }
+
+  const mem::HeapStats stats_before = lanes_.heaps[0]->stats();
 
   // Simulate lane 0 — representative if symmetric, first of the loop if not.
+  // Its cost lands in pending_uniform_ (replay path, where every lane pays
+  // it) or its own lane slot (divergent path) once we know which applies.
   sim::TimeNs cost0{0};
   {
     kernel::Process& p = job_.lane(0);
@@ -188,7 +233,6 @@ void MpiWorld::heap_cycle(std::span<const std::int64_t> deltas) {
       cost0 += r.cost;
       if (d > 0) cost0 += k.heap_touch(p, faulters);
     }
-    lane_pending_[0] += cost0;
   }
   ++engine_.heap_slow_lanes;
 
@@ -200,19 +244,33 @@ void MpiWorld::heap_cycle(std::span<const std::int64_t> deltas) {
   // the cycle did engage the allocator — returns everything it drew, so the
   // restored free maps serve every lane the same total. The replicated cost
   // and counter deltas are therefore exact, not approximate.
-  const mem::HeapStats& stats_after = job_.lane(0).heap()->stats();
-  if (symmetric && job_.lane(0).heap()->state_fingerprint() == fp0 &&
+  const mem::HeapStats& stats_after = lanes_.heaps[0]->stats();
+  if (symmetric && lanes_.heaps[0]->state_fingerprint() == fp0 &&
       phys_fingerprint(k.phys()) == phys_before) {
+    const mem::HeapStats delta = mem::HeapEngine::replay_delta(stats_before, stats_after);
     for (int i = 1; i < lanes; ++i) {
-      job_.lane(i).heap()->replay_cycle(stats_before, stats_after);
-      lane_pending_[static_cast<std::size_t>(i)] += cost0;
+      lanes_.heaps[static_cast<std::size_t>(i)]->apply_replay_delta(delta);
     }
+    pending_uniform_ += cost0;  // uniform across all lanes, lane 0 included
     k.note_replayed_local_calls(static_cast<std::uint64_t>(deltas.size()) *
                                 static_cast<std::uint64_t>(lanes - 1));
     engine_.heap_fast_lanes += static_cast<std::uint64_t>(lanes - 1);
+    ++engine_.heap_memo_misses;
+    if (heap_memo_.size() < kHeapMemoCap) {
+      HeapCycleMemo m;
+      m.deltas.assign(deltas.begin(), deltas.end());
+      m.fp0 = fp0;
+      m.phys_fp = phys_before;
+      m.faulters = faulters;
+      m.cost0 = cost0;
+      m.delta = delta;
+      heap_memo_.push_back(std::move(m));
+    }
     return;
   }
 
+  lanes_.pending_ns[0] += cost0.ns();
+  lane_pending_dirty_ = true;
   engine_.heap_slow_lanes += static_cast<std::uint64_t>(lanes - 1);
   for (int i = 1; i < lanes; ++i) {
     kernel::Process& p = job_.lane(i);
@@ -222,18 +280,23 @@ void MpiWorld::heap_cycle(std::span<const std::int64_t> deltas) {
       cost += r.cost;
       if (d > 0) cost += k.heap_touch(p, faulters);
     }
-    lane_pending_[static_cast<std::size_t>(i)] += cost;
+    lanes_.pending_ns[static_cast<std::size_t>(i)] += cost.ns();
   }
 }
 
 void MpiWorld::synchronize(std::uint64_t sync_cores, sim::TimeNs comm, SyncKind kind) {
   sim::TimeNs span = pending_uniform_;
-  sim::TimeNs max_lane{0};
-  for (auto& lp : lane_pending_) {
-    max_lane = std::max(max_lane, lp);
-    lp = sim::TimeNs{0};
+  // Plain int64 max reduction + fill over the SoA pending array — the
+  // vectorizable form of the old per-lane object scan. Skipped outright in
+  // the steady state where every cost landed in pending_uniform_ and the
+  // per-lane slots are still zero from the previous sync.
+  if (lane_pending_dirty_) {
+    std::int64_t max_lane = 0;
+    for (const std::int64_t lp : lanes_.pending_ns) max_lane = std::max(max_lane, lp);
+    std::fill(lanes_.pending_ns.begin(), lanes_.pending_ns.end(), std::int64_t{0});
+    span += sim::TimeNs{max_lane};
+    lane_pending_dirty_ = false;
   }
-  span += max_lane;
   pending_uniform_ = sim::TimeNs{0};
 
   const NoiseWindow w = extremes_.sample(span, std::max<std::uint64_t>(sync_cores, 1),
@@ -254,11 +317,9 @@ void MpiWorld::synchronize(std::uint64_t sync_cores, sim::TimeNs comm, SyncKind 
 
 sim::TimeNs MpiWorld::message_cost(sim::Bytes bytes) {
   if (fast_paths_) {
-    for (const auto& e : msg_cache_) {
-      if (e.bytes == bytes) {
-        ++engine_.msg_cache_hits;
-        return e.cost;
-      }
+    if (const sim::TimeNs* hit = msg_cache_.find(bytes, engine_.msg_cache_probes)) {
+      ++engine_.msg_cache_hits;
+      return *hit;
     }
   }
   const auto& net = job_.machine().cluster.network();
@@ -270,7 +331,7 @@ sim::TimeNs MpiWorld::message_cost(sim::Bytes bytes) {
   }
   if (fast_paths_) {
     ++engine_.msg_cache_misses;
-    if (msg_cache_.size() < kCostCacheCap) msg_cache_.push_back(MsgCacheEntry{bytes, t});
+    msg_cache_.insert(bytes, t);
   }
   return t;
 }
@@ -290,14 +351,11 @@ sim::TimeNs MpiWorld::collective_cost(sim::Bytes bytes) {
       coll_cache_.clear();
       coll_cache_model_ = coll_;
     }
-    for (const auto& e : coll_cache_) {
-      if (e.bytes == bytes) {
-        base = e.base;
-        stages = e.stages;
-        have = true;
-        ++engine_.coll_cache_hits;
-        break;
-      }
+    if (const CollCosts* hit = coll_cache_.find(bytes, engine_.coll_cache_probes)) {
+      base = hit->base;
+      stages = hit->stages;
+      have = true;
+      ++engine_.coll_cache_hits;
     }
   }
   if (!have) {
@@ -316,9 +374,7 @@ sim::TimeNs MpiWorld::collective_cost(sim::Bytes bytes) {
     stages = static_cast<std::uint64_t>(allreduce_stages(algo, shape));
     if (fast_paths_) {
       ++engine_.coll_cache_misses;
-      if (coll_cache_.size() < kCostCacheCap) {
-        coll_cache_.push_back(CollCacheEntry{bytes, base, stages});
-      }
+      coll_cache_.insert(bytes, CollCosts{base, stages});
     }
   }
   coll_stages_ += stages;

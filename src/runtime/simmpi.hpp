@@ -15,11 +15,13 @@
 // is light (LWKs) and collapses sharply once expected stalls-per-window
 // crosses one (Linux at high node counts) — Fig. 5b's cliff.
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "kernel/syscalls.hpp"
+#include "mem/heap.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/job.hpp"
 #include "runtime/noise_extremes.hpp"
@@ -125,6 +127,13 @@ class MpiWorld {
     std::uint64_t coll_cache_misses = 0;
     std::uint64_t msg_cache_hits = 0;     ///< point-to-point cost cache hits
     std::uint64_t msg_cache_misses = 0;
+    // Data-layout engine telemetry (DESIGN.md §13). Deliberately NOT part of
+    // obs::record_world's ledger block — the pre-rewrite ledgers stay
+    // byte-identical; bench/event_queue surfaces these as engine.cache.*.
+    std::uint64_t coll_cache_probes = 0;  ///< open-table cells inspected
+    std::uint64_t msg_cache_probes = 0;
+    std::uint64_t heap_memo_hits = 0;     ///< whole brk cycles replayed from memo
+    std::uint64_t heap_memo_misses = 0;   ///< symmetric cycles simulated + recorded
   };
   [[nodiscard]] const EngineCounters& engine_counters() const { return engine_; }
   /// Analytic-vs-exact draw tallies of the noise samplers for this world.
@@ -174,7 +183,19 @@ class MpiWorld {
   sim::Rng rng_;
   CollectiveModel coll_;
 
-  std::vector<double> lane_gbps_;
+  /// Structure-of-arrays lane state (DESIGN.md §13): the synchronize() max
+  /// scan, compute_bytes accumulation and heap_cycle replay loop each stride
+  /// one contiguous array instead of hopping between per-lane objects. The
+  /// heap pointers are cached Process::heap() results — lanes live for the
+  /// world's lifetime, so refresh_lanes() is the only invalidation point.
+  struct LaneBlock {
+    std::vector<double> gbps;              ///< effective bandwidth per lane
+    std::vector<std::int64_t> pending_ns;  ///< accumulated work, raw ns
+    std::vector<mem::HeapEngine*> heaps;
+
+    [[nodiscard]] std::size_t size() const { return pending_ns.size(); }
+  };
+  LaneBlock lanes_;
   double min_lane_gbps_ = 0.0;
   bool lanes_uniform_ = false;  ///< all lanes share one effective bandwidth
   int avg_hops_ = 1;            ///< hop count of the average peer (hoisted)
@@ -182,27 +203,83 @@ class MpiWorld {
   bool fast_paths_ = true;
   EngineCounters engine_;
   kernel::SampleCounters noise_counters_;
+
   /// Memoized cost-model outputs, keyed by message size — the only input
   /// that varies within a run (shape, network, kernel factors are fixed).
-  /// Small linear-scan vectors: apps use a handful of distinct sizes, and
-  /// iteration order stays deterministic.
-  struct CollCacheEntry {
-    sim::Bytes bytes;
-    sim::TimeNs base;
-    std::uint64_t stages;
+  /// Open-addressed, linear probing, power-of-two table at <= 1/2 load: the
+  /// former linear scans paid up to kCap compares per lookup on cache-busy
+  /// benches. Membership semantics (and so hit/miss counts) are unchanged.
+  template <typename V>
+  struct CostTable {
+    static constexpr std::size_t kCap = 64;    ///< entries; past it, recompute
+    static constexpr std::size_t kSlots = 128; ///< table cells (power of two)
+    struct Cell {
+      sim::Bytes key = 0;
+      V value{};
+      bool used = false;
+    };
+    std::vector<Cell> cells = std::vector<Cell>(kSlots);
+    std::size_t count = 0;
+
+    static std::size_t slot_of(sim::Bytes key) {
+      auto x = static_cast<std::uint64_t>(key);
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x) & (kSlots - 1);
+    }
+    /// `probes` tallies cells inspected (engine.cache.* telemetry).
+    [[nodiscard]] const V* find(sim::Bytes key, std::uint64_t& probes) const {
+      for (std::size_t i = slot_of(key);; i = (i + 1) & (kSlots - 1)) {
+        ++probes;
+        if (!cells[i].used) return nullptr;
+        if (cells[i].key == key) return &cells[i].value;
+      }
+    }
+    void insert(sim::Bytes key, const V& value) {
+      if (count >= kCap) return;
+      std::size_t i = slot_of(key);
+      while (cells[i].used) i = (i + 1) & (kSlots - 1);
+      cells[i] = Cell{key, value, true};
+      ++count;
+    }
+    void clear() {
+      std::fill(cells.begin(), cells.end(), Cell{});
+      count = 0;
+    }
   };
-  std::vector<CollCacheEntry> coll_cache_;
+  struct CollCosts {
+    sim::TimeNs base{0};
+    std::uint64_t stages = 0;
+  };
+  CostTable<CollCosts> coll_cache_;
   CollectiveModel coll_cache_model_;  ///< model the cache was built against
-  struct MsgCacheEntry {
-    sim::Bytes bytes;
-    sim::TimeNs cost;
+  CostTable<sim::TimeNs> msg_cache_;
+
+  /// Whole-cycle memo for heap_cycle (DESIGN.md §13): a symmetric cycle that
+  /// proved state-neutral from fingerprint state (fp0, phys) replays its
+  /// recorded cost and counter deltas for every lane — including the former
+  /// representative — the next time the same deltas hit the same state.
+  struct HeapCycleMemo {
+    std::vector<std::int64_t> deltas;
+    std::uint64_t fp0 = 0;
+    std::uint64_t phys_fp = 0;
+    int faulters = 0;
+    sim::TimeNs cost0{0};
+    mem::HeapStats delta;  ///< monotone-counter delta, applied to every lane
   };
-  std::vector<MsgCacheEntry> msg_cache_;
+  static constexpr std::size_t kHeapMemoCap = 16;
+  std::vector<HeapCycleMemo> heap_memo_;
+  [[nodiscard]] const HeapCycleMemo* find_heap_memo(
+      std::span<const std::int64_t> deltas, std::uint64_t fp0,
+      std::uint64_t phys_fp, int faulters) const;
 
   sim::TimeNs clock_{0};
-  sim::TimeNs pending_max_{0};   ///< slowest lane's accumulated work
   sim::TimeNs pending_uniform_{0};
-  std::vector<sim::TimeNs> lane_pending_;
+  /// False while every lanes_.pending_ns entry is zero (the steady state in
+  /// which all cost lands in pending_uniform_); lets synchronize() skip the
+  /// per-lane max-and-clear scan entirely.
+  bool lane_pending_dirty_ = false;
 
   sim::TimeNs noise_wait_{0};
   sim::TimeNs comm_time_{0};

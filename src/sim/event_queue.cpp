@@ -6,16 +6,104 @@
 
 namespace mkos::sim {
 
+namespace {
+/// Compaction threshold: sweep when tombstones dominate and the heap is big
+/// enough for the O(n) rebuild to matter. Deterministic — depends only on
+/// the schedule/cancel history, never on the host.
+constexpr std::size_t kCompactMinHeap = 64;
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  MKOS_ASSERT(slots_.size() < std::size_t{1} << 24);  // HeapItem::slot width
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.armed = false;
+  s.action = nullptr;
+  ++s.gen;  // stale ids for this slot now fail the generation check
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapItem item = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!item_less(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const HeapItem item = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (item_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!item_less(heap_[best], item)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
+}
+
+void EventQueue::pop_root() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::compact_heap() {
+  // Filter tombstones in place, then 4-ary heapify bottom-up. O(n) and a
+  // pure function of queue history, so serial and pooled runs agree.
+  std::size_t kept = 0;
+  for (const HeapItem& it : heap_) {
+    if (item_live(it)) heap_[kept++] = it;
+  }
+  heap_.resize(kept);
+  if (kept > 1) {
+    for (std::size_t i = (kept - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+  ++compactions_;
+}
+
+void EventQueue::skim_root() {
+  while (!heap_.empty() && !item_live(heap_[0])) pop_root();
+}
+
 EventId EventQueue::schedule_at(TimeNs at, Action action) {
   MKOS_EXPECTS(at >= now_);
-  auto e = std::make_unique<Entry>(Entry{at, next_seq_++, next_id_++, std::move(action), false});
-  Entry* raw = e.get();
-  heap_.push_back(std::move(e));
-  std::push_heap(heap_.begin(), heap_.end(), Cmp{});
-  index_.resize(std::max<std::size_t>(index_.size(), raw->id));
-  index_[raw->id - 1] = raw;
+  if (heap_.size() > kCompactMinHeap && heap_.size() > 2 * live_) compact_heap();
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.at = at;
+  s.seq = next_seq_++;
+  s.action = std::move(action);
+  s.armed = true;
+  HeapItem it;
+  it.at = at;
+  it.seq = s.seq & kSeqMask;
+  it.slot = slot;
+  heap_.push_back(it);
+  sift_up(heap_.size() - 1);
   ++live_;
-  return raw->id;
+  return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
 }
 
 EventId EventQueue::schedule_after(TimeNs delay, Action action) {
@@ -24,47 +112,38 @@ EventId EventQueue::schedule_after(TimeNs delay, Action action) {
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == 0 || id > index_.size()) return false;
-  Entry* e = index_[id - 1];
-  if (e == nullptr || e->cancelled) return false;
-  e->cancelled = true;
-  e->action = nullptr;
-  index_[id - 1] = nullptr;
+  const std::uint32_t low = static_cast<std::uint32_t>(id);
+  if (low == 0 || low > slots_.size()) return false;
+  const std::uint32_t slot = low - 1;
+  Slot& s = slots_[slot];
+  if (!s.armed || s.gen != static_cast<std::uint32_t>(id >> 32)) return false;
+  release_slot(slot);  // the heap entry becomes a lazy tombstone
   --live_;
   return true;
 }
 
-std::unique_ptr<EventQueue::Entry> EventQueue::pop_next() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Cmp{});
-    std::unique_ptr<Entry> e = std::move(heap_.back());
-    heap_.pop_back();
-    if (e->cancelled) continue;
-    return e;
-  }
-  return nullptr;
-}
-
 bool EventQueue::step() {
-  const std::unique_ptr<Entry> e = pop_next();
-  if (e == nullptr) return false;
-  MKOS_ASSERT(e->at >= now_);
-  now_ = e->at;
-  index_[e->id - 1] = nullptr;
+  skim_root();
+  if (heap_.empty()) return false;
+  const HeapItem top = heap_[0];
+  pop_root();
+  Slot& s = slots_[top.slot];
+  MKOS_ASSERT(s.at >= now_);
+  now_ = s.at;
+  // Move the payload out and release the slot *before* invoking: the action
+  // may schedule new events and grow/reuse the slab under our feet.
+  Action action = std::move(s.action);
+  release_slot(static_cast<std::uint32_t>(top.slot));
   --live_;
   ++executed_;
-  const Action action = std::move(e->action);
   action();
   return true;
 }
 
 void EventQueue::run_until(TimeNs limit) {
   while (true) {
-    while (!heap_.empty() && heap_.front()->cancelled) {
-      std::pop_heap(heap_.begin(), heap_.end(), Cmp{});
-      heap_.pop_back();
-    }
-    if (heap_.empty() || heap_.front()->at > limit) break;
+    skim_root();
+    if (heap_.empty() || heap_[0].at > limit) break;
     step();
   }
   now_ = std::max(now_, limit);

@@ -3,26 +3,36 @@
 //
 // Most of the mkos performance pipeline advances per-rank clocks
 // analytically, but several substrates are genuinely event-driven: the IKC
-// inter-kernel channel, the cooperative/preemptive schedulers, and the noise
-// sources in their trace-producing mode. This engine provides a classic
-// time-ordered queue with stable FIFO ordering among simultaneous events and
-// O(log n) cancellation via handles.
+// inter-kernel channel, the cooperative/preemptive schedulers, the noise
+// sources in their trace-producing mode, and the fault injector's timeline.
+// This engine provides a classic time-ordered queue with stable FIFO
+// ordering among simultaneous events and O(1) cancellation via handles.
+//
+// Layout (DESIGN.md §13): events live in a flat slab arena of Slots recycled
+// through a freelist; ordering is a 4-ary implicit index heap over (at, seq)
+// keys — one cache line per sift level instead of pointer-chasing
+// unique_ptr heap nodes. EventIds carry the slot's generation in the high
+// 32 bits, so a stale handle (executed, cancelled, or reused slot) fails an
+// O(1) validity check instead of consulting an ever-growing id map.
+// Cancellation disarms the slot and leaves a lazy tombstone in the heap;
+// tombstones are skipped on pop and swept by a deterministic compaction
+// when they outnumber live events.
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inplace_function.hpp"
 #include "sim/time.hpp"
 
 namespace mkos::sim {
 
+/// Opaque handle: (generation << 32) | (slot index + 1). 0 is never issued.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InplaceAction;
 
   /// Schedule `action` at absolute time `at` (must be >= now()).
   EventId schedule_at(TimeNs at, Action action);
@@ -47,38 +57,65 @@ class EventQueue {
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
- private:
-  struct Entry {
-    TimeNs at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    Action action;
-    bool cancelled = false;
-  };
-  struct Cmp {
-    bool operator()(const std::unique_ptr<Entry>& a, const std::unique_ptr<Entry>& b) const {
-      if (a->at != b->at) return a->at > b->at;
-      return a->seq > b->seq;
-    }
-  };
+  /// Number of slots in the slab arena. Bounded by the peak pending() over
+  /// the queue's lifetime (freelist reuse) — the memory-bound invariant
+  /// long cancel/reschedule churn regression-tests against.
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
-  TimeNs now_{0};
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::size_t live_ = 0;
-  std::uint64_t executed_ = 0;
-  // Owning heap: cancelled-but-unpopped entries are reclaimed with the queue,
-  // never leaked on early destruction.
-  std::vector<std::unique_ptr<Entry>> heap_;
+  /// Cumulative lazy-deletion tombstones swept by heap compaction — the
+  /// engine.queue.* telemetry the event_queue microbench reports.
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
 
- public:
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
  private:
-  std::unique_ptr<Entry> pop_next();
-  std::vector<Entry*> index_;  // id -> entry (sparse by id - 1, non-owning), nulled when done
+  static constexpr std::uint32_t kNoSlot = 0xffff'ffffU;
+
+  struct Slot {
+    TimeNs at{0};
+    std::uint64_t seq = 0;       // global, never reused: staleness witness
+    Action action;
+    std::uint32_t gen = 0;       // bumped on every release; high bits of the id
+    std::uint32_t next_free = kNoSlot;
+    bool armed = false;
+  };
+  /// Heap entries are 16-byte POD keys; the payload stays in the slab.
+  struct HeapItem {
+    TimeNs at;
+    std::uint64_t seq : 40;  // 2^40 events per queue; seq is the slot's witness
+    std::uint64_t slot : 24;
+  };
+
+  static bool item_less(const HeapItem& a, const HeapItem& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+  [[nodiscard]] bool item_live(const HeapItem& it) const {
+    const Slot& s = slots_[it.slot];
+    return s.armed && (s.seq & kSeqMask) == it.seq;
+  }
+
+  static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << 40) - 1;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_root();
+  void compact_heap();
+  /// Drop stale tombstones off the heap root; leaves a live root or empty.
+  void skim_root();
+
+  TimeNs now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<Slot> slots_;
+  std::vector<HeapItem> heap_;
 };
 
 }  // namespace mkos::sim

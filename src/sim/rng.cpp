@@ -152,6 +152,34 @@ std::uint64_t Rng::poisson(double mean) {
   return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
 }
 
+void Rng::fill_poisson(std::span<const double> means, std::span<std::uint64_t> out) {
+  MKOS_EXPECTS(out.size() == means.size());
+  for (std::size_t i = 0; i < means.size(); ++i) out[i] = poisson(means[i]);
+}
+
+void Rng::fill_exponential_sums(std::span<const std::uint64_t> counts, double mean,
+                                std::span<double> out) {
+  MKOS_EXPECTS(out.size() == counts.size());
+  MKOS_EXPECTS(mean > 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = counts[i] == 0 ? 0.0 : exponential_sum(counts[i], mean);
+  }
+}
+
+void Rng::fill_normal_sums(std::span<const std::uint64_t> counts, double m1,
+                           double var1, std::span<double> out) {
+  MKOS_EXPECTS(out.size() == counts.size());
+  MKOS_EXPECTS(var1 >= 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      out[i] = 0.0;
+      continue;
+    }
+    const double nd = static_cast<double>(counts[i]);
+    out[i] = normal(m1 * nd, std::sqrt(var1 * nd));
+  }
+}
+
 Rng Rng::fork(std::uint64_t tag) const {
   // Mix the child tag with the parent state; deterministic and independent
   // of how many numbers the parent has drawn since construction is captured

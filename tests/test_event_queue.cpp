@@ -1,0 +1,297 @@
+// EventQueue semantics pinned before the arena rewrite (DESIGN.md §13).
+//
+// These tests were written against the unique_ptr binary-heap engine and must
+// pass unchanged on the slab-arena engine: they treat EventId as opaque and
+// only exercise the documented contract — time order, FIFO among equal
+// timestamps, cancel semantics, self-scheduling at now(), and run_until
+// boundary inclusivity.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using mkos::sim::EventId;
+using mkos::sim::EventQueue;
+using mkos::sim::TimeNs;
+
+TEST(EventQueueSemantics, FifoAmongEqualTimestampsAcrossInterleavedSchedules) {
+  EventQueue q;
+  std::vector<std::string> order;
+  // Interleave two timestamps so heap sift order differs from insert order.
+  q.schedule_at(TimeNs{200}, [&] { order.push_back("b0"); });
+  q.schedule_at(TimeNs{100}, [&] { order.push_back("a0"); });
+  q.schedule_at(TimeNs{200}, [&] { order.push_back("b1"); });
+  q.schedule_at(TimeNs{100}, [&] { order.push_back("a1"); });
+  q.schedule_at(TimeNs{200}, [&] { order.push_back("b2"); });
+  q.schedule_at(TimeNs{100}, [&] { order.push_back("a2"); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a0", "a1", "a2", "b0", "b1", "b2"}));
+}
+
+TEST(EventQueueSemantics, FifoSurvivesCancellationOfMiddleEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  ids.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(q.schedule_at(TimeNs{50}, [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_TRUE(q.cancel(ids[2]));
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3, 4}));
+  EXPECT_EQ(q.executed(), 4u);
+}
+
+TEST(EventQueueSemantics, CancelBeforeRunStopsExecutionAndUpdatesPending) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(TimeNs{10}, [&] { ++fired; });
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.pending(), 0u);
+  q.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.executed(), 0u);
+  EXPECT_EQ(q.now().ns(), 0);  // nothing ran, clock untouched
+}
+
+TEST(EventQueueSemantics, CancelOfExecutedIdReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule_at(TimeNs{10}, [] {});
+  q.run();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueueSemantics, CancelOfUnknownIdsReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{0}));
+  EXPECT_FALSE(q.cancel(EventId{0xffff'ffff'ffff'ffffULL}));
+  const EventId id = q.schedule_at(TimeNs{5}, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+}
+
+TEST(EventQueueSemantics, EventCanCancelALaterEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId victim = q.schedule_at(TimeNs{20}, [&] { ++fired; });
+  q.schedule_at(TimeNs{10}, [&] { EXPECT_TRUE(q.cancel(victim)); });
+  q.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueueSemantics, EventCanCancelASimultaneousLaterEvent) {
+  EventQueue q;
+  int fired = 0;
+  EventId victim = 0;
+  q.schedule_at(TimeNs{10}, [&] { EXPECT_TRUE(q.cancel(victim)); });
+  victim = q.schedule_at(TimeNs{10}, [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.now().ns(), 10);
+}
+
+TEST(EventQueueSemantics, EventSchedulingAtNowRunsAfterAlreadyPendingPeers) {
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule_at(TimeNs{10}, [&] {
+    order.push_back("first");
+    // Scheduled while executing at t=10: must run at t=10, after the peer
+    // that was already pending (FIFO by schedule order, not schedule time).
+    q.schedule_at(q.now(), [&] { order.push_back("nested"); });
+  });
+  q.schedule_at(TimeNs{10}, [&] { order.push_back("peer"); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "peer", "nested"}));
+  EXPECT_EQ(q.now().ns(), 10);
+}
+
+TEST(EventQueueSemantics, ZeroDelayScheduleAfterRunsAtCurrentTime) {
+  EventQueue q;
+  int fired_at = -1;
+  q.schedule_at(TimeNs{30}, [&] {
+    q.schedule_after(TimeNs{0}, [&] { fired_at = static_cast<int>(q.now().ns()); });
+  });
+  q.run();
+  EXPECT_EQ(fired_at, 30);
+}
+
+TEST(EventQueueSemantics, RunUntilExecutesEventsExactlyAtLimit) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(TimeNs{10}, [&] { fired.push_back(10); });
+  q.schedule_at(TimeNs{20}, [&] { fired.push_back(20); });
+  q.schedule_at(TimeNs{21}, [&] { fired.push_back(21); });
+  q.run_until(TimeNs{20});
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));  // limit is inclusive
+  EXPECT_EQ(q.now().ns(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(TimeNs{21});
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 21}));
+}
+
+TEST(EventQueueSemantics, RunUntilAdvancesClockPastLastEvent) {
+  EventQueue q;
+  q.schedule_at(TimeNs{5}, [] {});
+  q.run_until(TimeNs{100});
+  // The queue drained at t=5 but the window was observed through t=100.
+  EXPECT_EQ(q.now().ns(), 100);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueSemantics, RunUntilOnEmptyQueueAdvancesClock) {
+  EventQueue q;
+  q.run_until(TimeNs{42});
+  EXPECT_EQ(q.now().ns(), 42);
+  // Scheduling at the advanced clock is legal; before it is a contract breach
+  // (covered by EventQueue.SchedulingInPastIsRejected in test_sim.cpp).
+  q.schedule_at(TimeNs{42}, [] {});
+  q.run();
+  EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueueSemantics, RunUntilSkipsCancelledEventsWithoutExecuting) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule_at(TimeNs{10}, [&] { ++fired; });
+  const EventId b = q.schedule_at(TimeNs{20}, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+  q.run_until(TimeNs{30});
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.executed(), 0u);
+  EXPECT_EQ(q.now().ns(), 30);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueSemantics, StepReturnsFalseOnEmptyAndAfterDrain) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(TimeNs{10}, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueueSemantics, PendingTracksLiveEventsNotHeapResidue) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.schedule_at(TimeNs{static_cast<std::int64_t>(10 + i)}, [] {}));
+  }
+  for (int i = 0; i < 8; i += 2) {
+    EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(q.pending(), 4u);
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.executed(), 4u);
+}
+
+TEST(EventQueueSemantics, LongCancelRescheduleChurnKeepsAccounting) {
+  // Timer-wheel style churn: every tick schedules a timeout and cancels the
+  // previous one. Exercises id reuse / staleness paths on the arena engine.
+  EventQueue q;
+  int timeouts_fired = 0;
+  EventId timeout = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto t = TimeNs{static_cast<std::int64_t>(i)};
+    q.run_until(t);
+    if (timeout != 0) {
+      EXPECT_TRUE(q.cancel(timeout));
+    }
+    timeout = q.schedule_at(TimeNs{t.ns() + 100}, [&] { ++timeouts_fired; });
+  }
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(timeouts_fired, 1);  // only the last timeout survives
+  EXPECT_EQ(q.executed(), 1u);
+}
+
+// ---------------------------------------------------------------- arena
+// Properties specific to the slab-arena engine: bounded memory under churn
+// (the old sparse id->entry index grew monotonically with next_id_),
+// generation-tagged handle staleness, and move-only capture support.
+
+TEST(EventQueueArena, SlabStaysBoundedUnderCancelRescheduleChurn) {
+  EventQueue q;
+  EventId timeout = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    q.run_until(TimeNs{static_cast<std::int64_t>(i)});
+    if (timeout != 0) {
+      q.cancel(timeout);
+    }
+    timeout = q.schedule_at(TimeNs{static_cast<std::int64_t>(i) + 100}, [] {});
+  }
+  // At most two events were ever live at once; the slab must reflect the
+  // peak, not the 100k ids issued (the pre-arena index_ held 100k slots).
+  EXPECT_LE(q.slot_capacity(), q.pending() + 4);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueArena, ReusedSlotDoesNotValidateStaleIds) {
+  EventQueue q;
+  int fired = 0;
+  const EventId stale = q.schedule_at(TimeNs{10}, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(stale));
+  // The slot is recycled for a new event; the stale handle must not hit it.
+  const EventId fresh = q.schedule_at(TimeNs{20}, [&] { fired += 10; });
+  EXPECT_EQ(q.slot_capacity(), 1u);  // proves the slot really was reused
+  EXPECT_FALSE(q.cancel(stale));
+  q.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(fresh != stale);
+}
+
+TEST(EventQueueArena, MoveOnlyCapturesAreSupported) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  q.schedule_at(TimeNs{5}, [p = std::move(payload), &seen] { seen = *p; });
+  q.run();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventQueueArena, OversizedCapturesSpillToHeapAndStillRun) {
+  EventQueue q;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes: larger than the slot SBO
+  big[31] = 42;
+  std::uint64_t seen = 0;
+  q.schedule_at(TimeNs{5}, [big, &seen] { seen = big[31]; });
+  q.run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueueArena, CompactionSweepsTombstonesDeterministically) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(q.schedule_at(TimeNs{static_cast<std::int64_t>(1000 + i)}, [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 8 != 0) q.cancel(ids[i]);
+  }
+  // Schedule churn past the tombstone threshold to trigger compaction.
+  for (int i = 0; i < 64; ++i) {
+    q.schedule_at(TimeNs{static_cast<std::int64_t>(10'000 + i)}, [] {});
+  }
+  EXPECT_GE(q.compactions(), 1u);
+  q.run();
+  EXPECT_EQ(q.executed(), 4096u / 8 + 64u);
+}
+
+}  // namespace

@@ -51,6 +51,30 @@ ENGINE_COUNTERS = {
     "engine.noise_gumbel_draws",     # frequent-component Gumbel maxima
 }
 
+# Data-layout telemetry of the arena/SoA rewrite (DESIGN.md §13), emitted by
+# bench/event_queue only: obs::record_world deliberately leaves these out so
+# pre-rewrite ledgers stay byte-identical. Curated like the other engine
+# namespaces — an unknown name means emitter/schema drift.
+ENGINE_CACHE_COUNTERS = {
+    "engine.cache.coll_hits",        # collective base-cost cache hits
+    "engine.cache.coll_misses",
+    "engine.cache.coll_probes",      # open-table cells inspected
+    "engine.cache.msg_hits",         # point-to-point cost cache hits
+    "engine.cache.msg_misses",
+    "engine.cache.msg_probes",
+    "engine.cache.heap_memo_hits",   # whole brk cycles replayed from memo
+    "engine.cache.heap_memo_misses",
+}
+
+# The event arena's slab/tombstone accounting (bench/event_queue).
+ENGINE_QUEUE_COUNTERS = {
+    "engine.queue.executed",
+    "engine.queue.cancelled",
+    "engine.queue.compactions",      # deterministic tombstone sweeps
+    "engine.queue.peak_pending",
+    "engine.queue.slot_capacity",    # slab slots; bounded by peak_pending
+}
+
 # The fault-injection/resilience subsystem's counter group, mirrored from
 # obs::record_faults (src/obs/snapshots.cpp). Curated like engine.*: a name
 # outside this set means the emitter and the schema drifted apart.
@@ -138,7 +162,15 @@ def check_ledger(path, doc):
         if group not in KNOWN_COUNTER_GROUPS:
             fail(path, f"counter {k!r} is in unknown group {group!r} (update "
                        f"KNOWN_COUNTER_GROUPS if this is a new subsystem)")
-        if k.startswith("engine.") and k not in ENGINE_COUNTERS:
+        if k.startswith("engine.cache."):
+            if k not in ENGINE_CACHE_COUNTERS:
+                fail(path, f"unknown engine.cache counter {k!r} (update "
+                           f"ENGINE_CACHE_COUNTERS if this is a new layout metric)")
+        elif k.startswith("engine.queue."):
+            if k not in ENGINE_QUEUE_COUNTERS:
+                fail(path, f"unknown engine.queue counter {k!r} (update "
+                           f"ENGINE_QUEUE_COUNTERS if this is a new arena metric)")
+        elif k.startswith("engine.") and k not in ENGINE_COUNTERS:
             fail(path, f"unknown engine counter {k!r} (update ENGINE_COUNTERS "
                        f"if this is a new fast-path metric)")
         if k.startswith("fault.") and k not in FAULT_COUNTERS:
