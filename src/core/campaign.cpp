@@ -18,7 +18,7 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
 }  // namespace
 
 std::optional<RunStats> CellCache::lookup(std::uint64_t key) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sim::MutexLock lock(mu_);
   const auto it = cells_.find(key);
   if (it == cells_.end()) {
     ++misses_;
@@ -29,27 +29,27 @@ std::optional<RunStats> CellCache::lookup(std::uint64_t key) {
 }
 
 void CellCache::store(std::uint64_t key, const RunStats& stats) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sim::MutexLock lock(mu_);
   cells_.insert_or_assign(key, stats);
 }
 
 void CellCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sim::MutexLock lock(mu_);
   cells_.clear();
 }
 
 std::size_t CellCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sim::MutexLock lock(mu_);
   return cells_.size();
 }
 
 std::uint64_t CellCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sim::MutexLock lock(mu_);
   return hits_;
 }
 
 std::uint64_t CellCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sim::MutexLock lock(mu_);
   return misses_;
 }
 

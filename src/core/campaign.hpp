@@ -10,7 +10,6 @@
 // independent of thread count, scheduling, and cache state.
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +18,7 @@
 #include "core/experiment.hpp"
 #include "sim/histogram.hpp"
 #include "sim/thread_pool.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace mkos::core {
 
@@ -27,19 +27,19 @@ namespace mkos::core {
 /// pins their parameters, so equal keys imply equal simulations.
 class CellCache {
  public:
-  [[nodiscard]] std::optional<RunStats> lookup(std::uint64_t key);
-  void store(std::uint64_t key, const RunStats& stats);
-  void clear();
+  [[nodiscard]] std::optional<RunStats> lookup(std::uint64_t key) MKOS_EXCLUDES(mu_);
+  void store(std::uint64_t key, const RunStats& stats) MKOS_EXCLUDES(mu_);
+  void clear() MKOS_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::uint64_t hits() const;
-  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t size() const MKOS_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t hits() const MKOS_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t misses() const MKOS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, RunStats> cells_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable sim::Mutex mu_;
+  std::unordered_map<std::uint64_t, RunStats> cells_ MKOS_GUARDED_BY(mu_);
+  std::uint64_t hits_ MKOS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ MKOS_GUARDED_BY(mu_) = 0;
 };
 
 /// Cache key for one cell; `reps` participates because a 2-rep and a 5-rep

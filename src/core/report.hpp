@@ -1,69 +1,24 @@
 #pragma once
-// ASCII table / number formatting / BENCH_*.json emission for the bench
-// harness output.
+// Bench-harness report surface: tables, number formatting, strict JSON.
+//
+// The implementations live in sim/format.* (the bottom layer) so the run
+// ledger can serialize without an obs → core upward include; this header
+// re-exports them under mkos::core, the namespace the experiment driver,
+// benches, examples and tests have always used. New lower-layer code should
+// include sim/format.hpp directly; core-and-above callers keep this header.
 
-#include <cstdint>
-#include <string>
-#include <vector>
+#include "sim/format.hpp"
 
 namespace mkos::core {
 
-class Table {
- public:
-  explicit Table(std::vector<std::string> headers);
-
-  Table& add_row(std::vector<std::string> cells);
-
-  /// Render with aligned columns (first column left-, rest right-aligned).
-  [[nodiscard]] std::string to_string() const;
-
-  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
-  [[nodiscard]] std::string to_csv() const;
-
-  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
-
-/// Fixed-precision double ("12.34").
-[[nodiscard]] std::string fmt(double v, int precision = 2);
-/// Scientific ("1.23e+07").
-[[nodiscard]] std::string fmt_sci(double v, int precision = 2);
-/// Percentage of 1.0 ("121.0%").
-[[nodiscard]] std::string fmt_pct(double ratio, int precision = 1);
-
-/// Section banner used by every bench binary.
-void print_banner(const std::string& title, const std::string& paper_ref);
-
-/// RFC 8259 string literal: wraps in quotes, escapes `"` and `\`, and all
-/// control characters below 0x20 (`\b \f \n \r \t` shortcuts, `\u00XX`
-/// otherwise) so the output always parses under a strict JSON reader.
-[[nodiscard]] std::string json_quote(const std::string& s);
-
-/// Shortest round-trip decimal for a double (std::to_chars); non-finite
-/// values serialize as `null` — bare `nan`/`inf` are not valid JSON.
-[[nodiscard]] std::string json_number(double v);
-
-/// JSON object builder for machine-readable perf artifacts (BENCH_*.json):
-/// insertion-ordered key/value pairs; nested objects/arrays attach via raw().
-class JsonObject {
- public:
-  JsonObject& number(const std::string& key, double v);
-  JsonObject& integer(const std::string& key, std::int64_t v);
-  JsonObject& text(const std::string& key, const std::string& v);
-  JsonObject& boolean(const std::string& key, bool v);
-  /// Attach pre-serialized JSON (object/array/literal) under `key`.
-  JsonObject& raw(const std::string& key, const std::string& json);
-
-  [[nodiscard]] std::string to_string() const;
-
- private:
-  std::vector<std::string> fields_;
-};
-
-/// Write `content` to `path` (truncating); returns false on I/O failure.
-bool write_text_file(const std::string& path, const std::string& content);
+using sim::fmt;
+using sim::fmt_pct;
+using sim::fmt_sci;
+using sim::json_number;
+using sim::json_quote;
+using sim::JsonObject;
+using sim::print_banner;
+using sim::Table;
+using sim::write_text_file;
 
 }  // namespace mkos::core

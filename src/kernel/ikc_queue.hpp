@@ -22,10 +22,11 @@
 
 #include "kernel/ikc.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace mkos::kernel {
 
-class IkcQueue {
+class MKOS_THREAD_CONFINED("the owning node's simulation task") IkcQueue {
  public:
   using Handler = std::function<void(sim::TimeNs completion_time)>;
   /// Called when a full ring rejects an arriving request (payload bytes).

@@ -4,7 +4,7 @@
 #include <ostream>
 #include <utility>
 
-#include "core/report.hpp"
+#include "sim/format.hpp"
 
 namespace mkos::obs {
 
@@ -98,12 +98,12 @@ std::string summary_json(const sim::Summary& s) {
   std::string out = "{";
   out += "\"count\": " + std::to_string(s.count());
   if (!s.empty()) {
-    out += ", \"min\": " + core::json_number(s.min());
-    out += ", \"max\": " + core::json_number(s.max());
-    out += ", \"mean\": " + core::json_number(s.mean());
-    out += ", \"median\": " + core::json_number(s.median());
-    out += ", \"p95\": " + core::json_number(s.percentile(95.0));
-    out += ", \"stddev\": " + core::json_number(s.stddev());
+    out += ", \"min\": " + sim::json_number(s.min());
+    out += ", \"max\": " + sim::json_number(s.max());
+    out += ", \"mean\": " + sim::json_number(s.mean());
+    out += ", \"median\": " + sim::json_number(s.median());
+    out += ", \"p95\": " + sim::json_number(s.percentile(95.0));
+    out += ", \"stddev\": " + sim::json_number(s.stddev());
   }
   out += "}";
   return out;
@@ -111,15 +111,15 @@ std::string summary_json(const sim::Summary& s) {
 
 std::string histogram_json(const sim::Histogram& h) {
   std::string out = "{";
-  out += "\"min_value\": " + core::json_number(h.min_value());
-  out += ", \"max_value\": " + core::json_number(h.max_value());
+  out += "\"min_value\": " + sim::json_number(h.min_value());
+  out += ", \"max_value\": " + sim::json_number(h.max_value());
   out += ", \"total\": " + std::to_string(h.total());
   out += ", \"underflow\": " + std::to_string(h.underflow());
   out += ", \"overflow\": " + std::to_string(h.overflow());
   if (h.total() > 0) {
-    out += ", \"p50\": " + core::json_number(h.quantile(0.5));
-    out += ", \"p95\": " + core::json_number(h.quantile(0.95));
-    out += ", \"p99\": " + core::json_number(h.quantile(0.99));
+    out += ", \"p50\": " + sim::json_number(h.quantile(0.5));
+    out += ", \"p95\": " + sim::json_number(h.quantile(0.95));
+    out += ", \"p99\": " + sim::json_number(h.quantile(0.99));
   }
   out += ", \"bins\": [";
   bool first = true;
@@ -128,9 +128,9 @@ std::string histogram_json(const sim::Histogram& h) {
     if (!first) out += ", ";
     first = false;
     out += '[';
-    out += core::json_number(h.bin_lower(i));
+    out += sim::json_number(h.bin_lower(i));
     out += ", ";
-    out += core::json_number(h.bin_upper(i));
+    out += sim::json_number(h.bin_upper(i));
     out += ", ";
     out += std::to_string(h.bin(i));
     out += ']';
@@ -147,11 +147,11 @@ template <typename Entries, typename Render>
 void emit_section(std::string& out, const char* name, const Entries& entries,
                   Render&& render, bool trailing_comma) {
   out += "  ";
-  out += core::json_quote(name);
+  out += sim::json_quote(name);
   out += ": {";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
-    out += "    " + core::json_quote(entries[i].name) + ": " + render(entries[i].value);
+    out += "    " + sim::json_quote(entries[i].name) + ": " + render(entries[i].value);
   }
   if (!entries.empty()) out += "\n  ";
   out += "}";
@@ -163,14 +163,14 @@ void emit_section(std::string& out, const char* name, const Entries& entries,
 
 std::string RunLedger::to_json() const {
   std::string out = "{\n";
-  out += "  \"schema\": " + core::json_quote(kSchemaId) + ",\n";
+  out += "  \"schema\": " + sim::json_quote(kSchemaId) + ",\n";
   out += "  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
   emit_section(out, "meta", meta_.entries,
-               [](const std::string& v) { return core::json_quote(v); }, true);
+               [](const std::string& v) { return sim::json_quote(v); }, true);
   emit_section(out, "counters", counters_.entries,
                [](std::uint64_t v) { return std::to_string(v); }, true);
   emit_section(out, "gauges", gauges_.entries,
-               [](double v) { return core::json_number(v); }, true);
+               [](double v) { return sim::json_number(v); }, true);
   emit_section(out, "summaries", summaries_.entries,
                [](const sim::Summary& v) { return summary_json(v); }, true);
   emit_section(out, "histograms", histograms_.entries,
@@ -197,19 +197,19 @@ bool RunLedger::write_json(const std::string& path) const {
 }
 
 std::string RunLedger::to_csv() const {
-  core::Table t({"section", "name", "value"});
+  sim::Table t({"section", "name", "value"});
   for (const auto& e : meta_.entries) t.add_row({"meta", e.name, e.value});
   for (const auto& e : counters_.entries) {
     t.add_row({"counter", e.name, std::to_string(e.value)});
   }
   for (const auto& e : gauges_.entries) {
-    t.add_row({"gauge", e.name, core::json_number(e.value)});
+    t.add_row({"gauge", e.name, sim::json_number(e.value)});
   }
   for (const auto& e : summaries_.entries) {
     if (e.value.empty()) continue;
-    t.add_row({"summary", e.name + ".median", core::json_number(e.value.median())});
-    t.add_row({"summary", e.name + ".min", core::json_number(e.value.min())});
-    t.add_row({"summary", e.name + ".max", core::json_number(e.value.max())});
+    t.add_row({"summary", e.name + ".median", sim::json_number(e.value.median())});
+    t.add_row({"summary", e.name + ".min", sim::json_number(e.value.min())});
+    t.add_row({"summary", e.name + ".max", sim::json_number(e.value.max())});
   }
   return t.to_csv();
 }

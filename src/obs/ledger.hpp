@@ -30,6 +30,7 @@
 
 #include "sim/histogram.hpp"
 #include "sim/stats.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace mkos::obs {
 
@@ -42,7 +43,9 @@ inline constexpr const char* kSchemaId = "mkos.run_ledger.v1";
 [[nodiscard]] std::string summary_json(const sim::Summary& s);
 [[nodiscard]] std::string histogram_json(const sim::Histogram& h);
 
-class RunLedger {
+// Unsynchronized by design: each campaign cell task builds its own
+// ledger; the pool-side merge happens after wait_idle(), in grid order.
+class MKOS_THREAD_CONFINED("one campaign cell task, merged post-join") RunLedger {
  public:
   // ------------------------------------------------------------------ meta
   /// Identity strings (bench id, paper figure, config fingerprints, units).

@@ -46,11 +46,12 @@
 #include "fault/injector.hpp"
 #include "runtime/job.hpp"
 #include "sim/rng.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace mkos::runtime {
 
-class ResilienceManager {
+class MKOS_THREAD_CONFINED("the owning cell's MpiWorld") ResilienceManager {
  public:
   /// Seed-derived plan from the spec (the production path).
   ResilienceManager(const fault::Spec& spec, Job& job, std::uint64_t seed);

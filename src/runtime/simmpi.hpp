@@ -26,12 +26,13 @@
 #include "runtime/job.hpp"
 #include "runtime/noise_extremes.hpp"
 #include "runtime/shm.hpp"
+#include "sim/thread_safety.hpp"
 
 namespace mkos::runtime {
 
 class ResilienceManager;
 
-class MpiWorld {
+class MKOS_THREAD_CONFINED("one campaign cell task") MpiWorld {
  public:
   MpiWorld(Job& job, std::uint64_t noise_seed);
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/inplace_function.hpp"
+#include "sim/thread_safety.hpp"
 #include "sim/time.hpp"
 
 namespace mkos::sim {
@@ -30,7 +31,7 @@ namespace mkos::sim {
 /// Opaque handle: (generation << 32) | (slot index + 1). 0 is never issued.
 using EventId = std::uint64_t;
 
-class EventQueue {
+class MKOS_THREAD_CONFINED("the owning simulation task") EventQueue {
  public:
   using Action = InplaceAction;
 

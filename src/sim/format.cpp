@@ -1,4 +1,4 @@
-#include "core/report.hpp"
+#include "sim/format.hpp"
 
 #include <algorithm>
 #include <charconv>
@@ -7,7 +7,7 @@
 
 #include "sim/contracts.hpp"
 
-namespace mkos::core {
+namespace mkos::sim {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
@@ -178,4 +178,4 @@ void print_banner(const std::string& title, const std::string& paper_ref) {
               bar.c_str());
 }
 
-}  // namespace mkos::core
+}  // namespace mkos::sim

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Task task) {
   MKOS_EXPECTS(task != nullptr);
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     MKOS_EXPECTS(!stop_);
     queue_.push_back(std::move(task));
   }
@@ -36,12 +36,16 @@ void ThreadPool::submit(Task task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(mu_);
+  // Predicate loop (not the lambda overload of cv::wait): the predicate
+  // reads guarded state, and inside this scope the capability analysis can
+  // see the lock is held — a lambda would be analyzed as a separate,
+  // lock-free function.
+  while (!queue_.empty() || running_ != 0) lock.wait(idle_cv_);
 }
 
 std::uint64_t ThreadPool::completed() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return completed_;
 }
 
@@ -57,8 +61,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) lock.wait(work_cv_);
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -66,7 +70,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       --running_;
       ++completed_;
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
@@ -78,10 +82,10 @@ void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   struct Join {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    std::size_t remaining;
-    std::exception_ptr error;
+    std::size_t remaining MKOS_GUARDED_BY(mu);
+    std::exception_ptr error MKOS_GUARDED_BY(mu);
   } join{.mu = {}, .cv = {}, .remaining = n, .error = nullptr};
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -92,14 +96,18 @@ void parallel_for(ThreadPool& pool, std::size_t n,
       } catch (...) {
         ep = std::current_exception();
       }
-      const std::lock_guard<std::mutex> lock(join.mu);
+      const MutexLock lock(join.mu);
       if (ep != nullptr && join.error == nullptr) join.error = ep;
       if (--join.remaining == 0) join.cv.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(join.mu);
-  join.cv.wait(lock, [&join] { return join.remaining == 0; });
-  if (join.error != nullptr) std::rethrow_exception(join.error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(join.mu);
+    while (join.remaining != 0) lock.wait(join.cv);
+    error = join.error;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace mkos::sim

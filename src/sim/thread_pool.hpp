@@ -13,9 +13,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/thread_safety.hpp"
 
 namespace mkos::sim {
 
@@ -32,15 +33,15 @@ class ThreadPool {
 
   /// Enqueue a task. Tasks must not throw and must not call back into the
   /// pool's blocking APIs (wait_idle / parallel_for) — cells are leaves.
-  void submit(Task task);
+  void submit(Task task) MKOS_EXCLUDES(mu_);
 
   /// Block until the queue is empty AND no task is executing.
-  void wait_idle();
+  void wait_idle() MKOS_EXCLUDES(mu_);
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
   /// Total tasks completed over the pool's lifetime.
-  [[nodiscard]] std::uint64_t completed() const;
+  [[nodiscard]] std::uint64_t completed() const MKOS_EXCLUDES(mu_);
 
   /// `MKOS_THREADS` env var when set (strictly validated: integer in
   /// [1, 4096], anything else is a hard error via sim::env_int), otherwise
@@ -48,16 +49,16 @@ class ThreadPool {
   [[nodiscard]] static int default_threads();
 
  private:
-  void worker_loop();
+  void worker_loop() MKOS_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable work_cv_;   // workers wait for tasks
   std::condition_variable idle_cv_;   // wait_idle() waits for drain
-  std::deque<Task> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t running_ = 0;
-  std::uint64_t completed_ = 0;
-  bool stop_ = false;
+  std::deque<Task> queue_ MKOS_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written in ctor, joined in dtor only
+  std::size_t running_ MKOS_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ MKOS_GUARDED_BY(mu_) = 0;
+  bool stop_ MKOS_GUARDED_BY(mu_) = false;
 };
 
 /// Run `body(0..n-1)` across the pool and block until all complete. The first

@@ -1,0 +1,1 @@
+void bad_bench(int v) { assert(v > 0); }

@@ -1,0 +1,1 @@
+void bad_example(int v) { assert(v > 0); }

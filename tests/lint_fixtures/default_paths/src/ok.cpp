@@ -1,0 +1,3 @@
+// Clean file: the default-path-set regression test proves violations in the
+// sibling bench/tests/examples/tools trees are found without naming paths.
+int default_paths_ok = 0;

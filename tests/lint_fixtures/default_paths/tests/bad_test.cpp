@@ -1,0 +1,1 @@
+void bad_test(int v) { assert(v > 0); }

@@ -1,0 +1,1 @@
+void bad_tool(int v) { assert(v > 0); }

@@ -1,0 +1,9 @@
+#pragma once
+// Half of a same-module header cycle: invisible at module granularity, so
+// it must be caught by the file-level cycle check.
+
+#include "kernel/b.hpp"
+
+namespace mkos::kernel {
+int a();
+}  // namespace mkos::kernel

@@ -1,0 +1,8 @@
+#pragma once
+// The other half of the same-module header cycle.
+
+#include "kernel/a.hpp"
+
+namespace mkos::kernel {
+int b();
+}  // namespace mkos::kernel

@@ -1,0 +1,18 @@
+// Counter-manifest fixture: one registered literal (clean), one unregistered
+// literal, and one dynamic name whose group is not in the manifest.
+
+#include "sim/base.hpp"
+
+namespace mkos::mem {
+
+struct Ledger {
+  void incr(const std::string& name) { (void)name; }
+};
+
+void emit(Ledger& ledger, const std::string& suffix) {
+  ledger.incr("mem.faults");         // registered: clean
+  ledger.incr("mem.bogus_counter");  // unregistered literal
+  ledger.incr("zzz." + suffix);      // unregistered group prefix
+}
+
+}  // namespace mkos::mem

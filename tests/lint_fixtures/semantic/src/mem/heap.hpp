@@ -1,0 +1,11 @@
+#pragma once
+// The sim include is allowed by the fixture rules; the core include is the
+// layering violation (mem -> core is not in the list) and one edge of the
+// mem <-> core cycle.
+
+#include "core/top.hpp"
+#include "sim/base.hpp"
+
+namespace mkos::mem {
+int heap();
+}  // namespace mkos::mem

@@ -1,0 +1,6 @@
+#pragma once
+// Bottom of the fixture layering order: includes nothing.
+
+namespace mkos::sim {
+int base();
+}  // namespace mkos::sim

@@ -1,0 +1,21 @@
+// Negative fixture for the Clang capability-analysis gate (ctest
+// mkos_thread_safety_negative, Clang only): reading a guarded member without
+// holding its mutex must fail to compile under
+// -Wthread-safety -Werror=thread-safety-analysis. If this file ever compiles
+// cleanly, the annotation macros have stopped expanding and the whole
+// race-detection layer is silently off.
+
+#include "sim/thread_safety.hpp"
+
+namespace mkos::sim {
+
+struct Guarded {
+  Mutex mu;
+  int value MKOS_GUARDED_BY(mu) = 0;
+};
+
+int read_unlocked(Guarded& g) {
+  return g.value;  // no lock held: thread-safety-analysis error
+}
+
+}  // namespace mkos::sim

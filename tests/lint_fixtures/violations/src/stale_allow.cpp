@@ -1,0 +1,5 @@
+// Stale-suppression fixture: the annotation is justified and names a real
+// rule, but the assert it once covered was refactored away, so it suppresses
+// nothing and must be flagged.
+// mkos-lint: allow(raw-assert) — invariant documented at the call site.
+int stale_allow_value() { return 3; }

@@ -265,6 +265,108 @@ TEST(LintAllow, AllowOnlyCoversItsOwnRule) {
   EXPECT_TRUE(has_rule(vs, "naked-new"));
 }
 
+// ------------------------------------------------------------ stale allows
+
+TEST(LintStale, JustifiedAllowSuppressingNothingIsStale) {
+  const auto vs = lint_file(
+      "src/runtime/job.cpp",
+      "// mkos-lint: allow(wall-clock) — telemetry only (but the call is gone).\n"
+      "int x = 3;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "stale-allow");
+  EXPECT_EQ(vs[0].line, 1);
+}
+
+TEST(LintStale, LiveAllowIsNotStale) {
+  const auto vs = lint_file(
+      "src/runtime/job.cpp",
+      "auto t = std::chrono::steady_clock::now();  "
+      "// mkos-lint: allow(wall-clock) — host telemetry only, not a result\n");
+  EXPECT_TRUE(vs.empty()) << mkos::lint::to_string(vs[0]);
+}
+
+TEST(LintStale, UnjustifiedAllowIsNotDoubleReportedAsStale) {
+  // An allow without a reason is already allow-no-reason; it never enters
+  // the suppression map, so it must not also be reported as stale.
+  const auto vs = lint_file("src/runtime/job.cpp",
+                            "// mkos-lint: allow(raw-assert)\nint x;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "allow-no-reason");
+}
+
+TEST(LintStale, TreeRuleAllowIsNotStaleWhenPhaseOff) {
+  // lint_file never runs the layering phase, so whether this allow
+  // suppresses anything is unknowable — it must stay silent.
+  const auto vs = lint_file(
+      "src/mem/heap.cpp",
+      "// mkos-lint: allow(layering) — deliberate edge pending refactor.\n"
+      "int x;\n");
+  EXPECT_TRUE(vs.empty()) << mkos::lint::to_string(vs[0]);
+}
+
+// ------------------------------------------------------- semantic phases
+
+#if defined(MKOS_LINT_FIXTURES)
+
+int count_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  int n = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> semantic_fixture_files(const std::string& root) {
+  return mkos::lint::collect_sources(root, {"src"});
+}
+
+TEST(LintTree, SemanticFixtureViolations) {
+  const std::string root = std::string(MKOS_LINT_FIXTURES) + "/semantic";
+  const auto files = semantic_fixture_files(root);
+  ASSERT_EQ(files.size(), 6u);
+  mkos::lint::TreeOptions opts;
+  opts.layering_rules = "layering.rules";
+  opts.counter_schema = "counter_schema.json";
+  const auto vs = mkos::lint::lint_tree(root, files, opts);
+  // One disallowed edge (mem -> core); the opposite edge is allowed yet the
+  // mem <-> core module cycle is still flagged, plus the same-module
+  // kernel/a.hpp <-> kernel/b.hpp header cycle; one unregistered literal and
+  // one unregistered dynamic-group prefix.
+  EXPECT_EQ(count_rule(vs, "layering"), 1) << vs.size();
+  EXPECT_EQ(count_rule(vs, "include-cycle"), 2);
+  EXPECT_EQ(count_rule(vs, "unknown-counter"), 2);
+  EXPECT_EQ(vs.size(), 5u);
+}
+
+TEST(LintTree, SemanticPhasesAreOptIn) {
+  const std::string root = std::string(MKOS_LINT_FIXTURES) + "/semantic";
+  const auto vs =
+      mkos::lint::lint_tree(root, semantic_fixture_files(root), {});
+  EXPECT_TRUE(vs.empty()) << mkos::lint::to_string(vs[0]);
+}
+
+TEST(LintTree, MissingDataFilesAreReported) {
+  const std::string root = std::string(MKOS_LINT_FIXTURES) + "/semantic";
+  mkos::lint::TreeOptions opts;
+  opts.layering_rules = "no_such.rules";
+  opts.counter_schema = "no_such.json";
+  const auto vs =
+      mkos::lint::lint_tree(root, semantic_fixture_files(root), opts);
+  EXPECT_EQ(count_rule(vs, "io-error"), 2) << vs.size();
+}
+
+TEST(LintTree, MalformedCounterSchemaIsReported) {
+  const std::string root = std::string(MKOS_LINT_FIXTURES) + "/semantic";
+  mkos::lint::TreeOptions opts;
+  opts.counter_schema = "layering.rules";  // not JSON
+  const auto vs =
+      mkos::lint::lint_tree(root, semantic_fixture_files(root), opts);
+  ASSERT_EQ(count_rule(vs, "io-error"), 1) << vs.size();
+  EXPECT_EQ(vs[0].file, "layering.rules");
+}
+
+#endif  // MKOS_LINT_FIXTURES
+
 // ----------------------------------------------------------- binary, E2E
 
 #if defined(MKOS_LINT_BIN) && defined(MKOS_LINT_FIXTURES)
@@ -301,7 +403,7 @@ TEST(LintBinary, ViolatingFixturesFailWithEveryRule) {
   for (const char* rule :
        {"raw-rng", "wall-clock", "unordered-iter", "raw-assert", "naked-new",
         "header-hygiene", "float-arith", "swallowed-catch", "allow-no-reason",
-        "unknown-rule"}) {
+        "unknown-rule", "stale-allow"}) {
     EXPECT_NE(r.output.find(std::string("[") + rule + "]"), std::string::npos)
         << "rule " << rule << " missing from:\n"
         << r.output;
@@ -315,9 +417,40 @@ TEST(LintBinary, SingleFixtureFileFails) {
   EXPECT_NE(r.output.find("[raw-assert]"), std::string::npos) << r.output;
 }
 
+TEST(LintBinary, SemanticFlagsEnablePhases) {
+  const std::string root = std::string("--root ") + MKOS_LINT_FIXTURES + "/semantic";
+  const RunResult flagged = run_lint(
+      root + " --layering layering.rules --counters counter_schema.json src");
+  EXPECT_EQ(flagged.exit_code, 1) << flagged.output;
+  for (const char* rule : {"layering", "include-cycle", "unknown-counter"}) {
+    EXPECT_NE(flagged.output.find(std::string("[") + rule + "]"), std::string::npos)
+        << "rule " << rule << " missing from:\n"
+        << flagged.output;
+  }
+  // Without the flags the phases are off and the fixture is clean.
+  EXPECT_EQ(run_lint(root + " src").exit_code, 0);
+}
+
+TEST(LintBinary, DefaultPathSetCoversAllTrees) {
+  // No paths on the command line: the default set (src bench tests examples
+  // tools) must be scanned, so the violations planted in each sibling tree
+  // of the fixture are all found.
+  const RunResult r =
+      run_lint(std::string("--root ") + MKOS_LINT_FIXTURES + "/default_paths");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* rel : {"bench/bad_bench.cpp", "tests/bad_test.cpp",
+                          "examples/bad_example.cpp", "tools/bad_tool.cpp"}) {
+    EXPECT_NE(r.output.find(rel), std::string::npos) << r.output;
+  }
+}
+
 TEST(LintBinary, UsageErrorsExitTwo) {
-  EXPECT_EQ(run_lint("").exit_code, 2);
   EXPECT_EQ(run_lint("--bogus-flag src").exit_code, 2);
+  EXPECT_EQ(run_lint("--root").exit_code, 2);  // missing operand
+  EXPECT_EQ(run_lint(std::string("--root ") + MKOS_LINT_FIXTURES +
+                     "/semantic no_such_dir")
+                .exit_code,
+            2);  // no lintable sources
 }
 
 TEST(LintBinary, ListRules) {
@@ -325,6 +458,9 @@ TEST(LintBinary, ListRules) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("raw-rng"), std::string::npos);
   EXPECT_NE(r.output.find("header-hygiene"), std::string::npos);
+  EXPECT_NE(r.output.find("layering"), std::string::npos);
+  EXPECT_NE(r.output.find("unknown-counter"), std::string::npos);
+  EXPECT_NE(r.output.find("stale-allow"), std::string::npos);
 }
 
 #endif  // MKOS_LINT_BIN && MKOS_LINT_FIXTURES

@@ -6,6 +6,13 @@ mkos.run_ledger.v1 schema: required header fields, section types, and
 value invariants (counters are non-negative integers, gauges are numbers
 or null, summaries/histograms carry their required keys).
 
+Counter names are validated against tools/counter_schema.json — the same
+manifest mkos-lint checks C++ counter literals against (see
+`mkos-lint --counters`), so the emitters and this checker cannot drift
+apart. Each manifest group is either closed (every counter in the ledger
+must be registered) or open (the group admits runtime-built names, e.g.
+ltp.<test>.*; registered names document the stable subset).
+
 Usage:
   check_bench_json.py FILE [FILE...]          validate; exit 1 on any failure
   check_bench_json.py --strip-host FILE       print canonical JSON with the
@@ -15,6 +22,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMA_ID = "mkos.run_ledger.v1"
@@ -24,84 +32,44 @@ SECTIONS = ("meta", "counters", "gauges", "summaries", "histograms", "host")
 SUMMARY_KEYS = {"count", "min", "max", "mean", "median", "p95", "stddev"}
 HISTOGRAM_KEYS = {"min_value", "max_value", "total", "underflow", "overflow", "bins"}
 
-# Every counter name is "<group>.<metric>". The groups themselves form a
-# closed namespace: a ledger with a group not listed here means a typo or a
-# new subsystem added without updating the schema — both worth failing loudly.
-KNOWN_COUNTER_GROUPS = {
-    "campaign", "dispo", "engine", "fault", "heap",
-    "kernel", "ltp", "mem", "naive", "runtime",
-}
-
-# The sampling/fast-path engine's counter group is a curated namespace: every
-# emitter (obs::record_world and the engine microbenches) draws from this set,
-# so an unknown engine.* name in a ledger means a typo or a counter added
-# without updating the schema — both worth failing loudly.
-ENGINE_COUNTERS = {
-    "engine.heap_fast_lanes",      # heap_cycle lanes satisfied by replay
-    "engine.heap_slow_lanes",      # heap_cycle lanes simulated event-by-event
-    "engine.compute_uniform_fast", # compute_bytes* calls on the uniform path
-    "engine.compute_lane_loops",   # compute_bytes* calls on the per-lane loop
-    "engine.coll_cache_hits",
-    "engine.coll_cache_misses",
-    "engine.msg_cache_hits",
-    "engine.msg_cache_misses",
-    "engine.noise_analytic_sums",    # component sums via Gamma / normal
-    "engine.noise_exact_events",     # individually drawn noise events
-    "engine.noise_analytic_maxima",  # inverse-CDF maximum draws
-    "engine.noise_gumbel_draws",     # frequent-component Gumbel maxima
-}
-
-# Data-layout telemetry of the arena/SoA rewrite (DESIGN.md §13), emitted by
-# bench/event_queue only: obs::record_world deliberately leaves these out so
-# pre-rewrite ledgers stay byte-identical. Curated like the other engine
-# namespaces — an unknown name means emitter/schema drift.
-ENGINE_CACHE_COUNTERS = {
-    "engine.cache.coll_hits",        # collective base-cost cache hits
-    "engine.cache.coll_misses",
-    "engine.cache.coll_probes",      # open-table cells inspected
-    "engine.cache.msg_hits",         # point-to-point cost cache hits
-    "engine.cache.msg_misses",
-    "engine.cache.msg_probes",
-    "engine.cache.heap_memo_hits",   # whole brk cycles replayed from memo
-    "engine.cache.heap_memo_misses",
-}
-
-# The event arena's slab/tombstone accounting (bench/event_queue).
-ENGINE_QUEUE_COUNTERS = {
-    "engine.queue.executed",
-    "engine.queue.cancelled",
-    "engine.queue.compactions",      # deterministic tombstone sweeps
-    "engine.queue.peak_pending",
-    "engine.queue.slot_capacity",    # slab slots; bounded by peak_pending
-}
-
-# The fault-injection/resilience subsystem's counter group, mirrored from
-# obs::record_faults (src/obs/snapshots.cpp). Curated like engine.*: a name
-# outside this set means the emitter and the schema drifted apart.
-FAULT_COUNTERS = {
-    "fault.injected",          # fault events that fired (incl. denials)
-    "fault.detected",          # faults the running system felt
-    "fault.retried",           # IKC send attempts spent on recovery
-    "fault.recovered",         # faults absorbed by a recovery path
-    "fault.node_failures",
-    "fault.linux_crashes",
-    "fault.stragglers",
-    "fault.storms",
-    "fault.ikc_dropped",
-    "fault.ikc_delays",
-    "fault.mcdram_denied",
-    "fault.checkpoints",
-    "fault.restarts",
-    "fault.lost_work_ns",      # progress redone or abandoned
-    "fault.checkpoint_ns",     # coordinated-flush overhead
-    "fault.backoff_wait_ns",   # IKC exponential-backoff waits
-    "fault.redistributed_ns",  # straggler slowdown absorbed by peers
-    "fault.wait_ns",           # total extra time charged to the run
-}
+COUNTER_SCHEMA_ID = "mkos.counter_schema.v1"
+DEFAULT_COUNTER_SCHEMA = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                      "counter_schema.json")
 
 
 def fail(path, msg):
     raise ValueError(f"{path}: {msg}")
+
+
+def load_counter_schema(path):
+    """Load the counter manifest: {group: (closed, frozenset(counters))}."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or doc.get("schema") != COUNTER_SCHEMA_ID:
+        fail(path, f"schema is {doc.get('schema')!r}, expected {COUNTER_SCHEMA_ID!r}")
+    groups = doc.get("groups")
+    if not isinstance(groups, dict) or not groups:
+        fail(path, "'groups' missing or not a non-empty object")
+    out = {}
+    for group, spec in groups.items():
+        if not isinstance(spec, dict) or not isinstance(spec.get("closed"), bool) \
+                or not isinstance(spec.get("counters"), list):
+            fail(path, f"group {group!r} must be {{'closed': bool, 'counters': [..]}}")
+        for c in spec["counters"]:
+            if not isinstance(c, str) or not c.startswith(group + "."):
+                fail(path, f"counter {c!r} does not belong to group {group!r}")
+        out[group] = (spec["closed"], frozenset(spec["counters"]))
+    return out
+
+
+def counter_group(name, groups):
+    """Longest registered group that is a dotted prefix of `name`, or None."""
+    parts = name.split(".")
+    for i in range(len(parts) - 1, 0, -1):
+        g = ".".join(parts[:i])
+        if g in groups:
+            return g
+    return None
 
 
 def check_summary(path, name, s):
@@ -139,7 +107,7 @@ def check_histogram(path, name, h):
         fail(path, f"histogram {name!r} counts do not sum to total")
 
 
-def check_ledger(path, doc):
+def check_ledger(path, doc, counter_groups):
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
     if doc.get("schema") != SCHEMA_ID:
@@ -158,24 +126,16 @@ def check_ledger(path, doc):
     for k, v in doc["counters"].items():
         if not isinstance(v, int) or isinstance(v, bool) or v < 0:
             fail(path, f"counter {k!r} is not a non-negative integer")
-        group = k.split(".", 1)[0]
-        if group not in KNOWN_COUNTER_GROUPS:
-            fail(path, f"counter {k!r} is in unknown group {group!r} (update "
-                       f"KNOWN_COUNTER_GROUPS if this is a new subsystem)")
-        if k.startswith("engine.cache."):
-            if k not in ENGINE_CACHE_COUNTERS:
-                fail(path, f"unknown engine.cache counter {k!r} (update "
-                           f"ENGINE_CACHE_COUNTERS if this is a new layout metric)")
-        elif k.startswith("engine.queue."):
-            if k not in ENGINE_QUEUE_COUNTERS:
-                fail(path, f"unknown engine.queue counter {k!r} (update "
-                           f"ENGINE_QUEUE_COUNTERS if this is a new arena metric)")
-        elif k.startswith("engine.") and k not in ENGINE_COUNTERS:
-            fail(path, f"unknown engine counter {k!r} (update ENGINE_COUNTERS "
-                       f"if this is a new fast-path metric)")
-        if k.startswith("fault.") and k not in FAULT_COUNTERS:
-            fail(path, f"unknown fault counter {k!r} (update FAULT_COUNTERS "
-                       f"if this is a new resilience metric)")
+        group = counter_group(k, counter_groups)
+        if group is None:
+            fail(path, f"counter {k!r} matches no group in the counter schema "
+                       f"(register it in tools/counter_schema.json if this is "
+                       f"a new subsystem)")
+        closed, registered = counter_groups[group]
+        if closed and k not in registered:
+            fail(path, f"counter {k!r} is not registered in closed group "
+                       f"{group!r} (update tools/counter_schema.json if this "
+                       f"is a new metric)")
     for k, v in doc["gauges"].items():
         if v is not None and (isinstance(v, bool) or not isinstance(v, (int, float))):
             fail(path, f"gauge {k!r} is not a number or null")
@@ -188,16 +148,25 @@ def check_ledger(path, doc):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("files", nargs="+")
+    ap.add_argument("--schema", default=DEFAULT_COUNTER_SCHEMA,
+                    help="counter manifest path (default: counter_schema.json "
+                         "next to this script)")
     ap.add_argument("--strip-host", action="store_true",
                     help="print canonical JSON without the host section")
     args = ap.parse_args()
+
+    try:
+        counter_groups = load_counter_schema(args.schema)
+    except (OSError, ValueError) as e:
+        print(f"FAIL {e}", file=sys.stderr)
+        return 1
 
     status = 0
     for path in args.files:
         try:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
-            check_ledger(path, doc)
+            check_ledger(path, doc, counter_groups)
         except (OSError, ValueError) as e:
             print(f"FAIL {e}", file=sys.stderr)
             status = 1

@@ -42,6 +42,25 @@
 //                    hide contract violations and corrupt results.
 //   allow-no-reason  an allow annotation missing its justification.
 //   unknown-rule     an allow annotation naming a rule that doesn't exist.
+//   stale-allow      a justified allow annotation that no longer suppresses
+//                    any violation on the line it covers — suppression rot
+//                    left behind by refactors; delete the annotation.
+//
+// Semantic (cross-file) rules, active only in tree mode (lint_tree / the
+// CLI with the corresponding data-file flag):
+//   layering         a quote-include crossing module boundaries along an
+//                    edge not present in the checked-in allowed-edge list
+//                    (--layering tools/layering.rules). The list is data so
+//                    architecture changes are deliberate, reviewed diffs.
+//   include-cycle    modules (or individual headers) whose includes form a
+//                    cycle. Never suppressible.
+//   unknown-counter  a counter-name string literal at a RunLedger
+//                    incr()/counter() call site that is not registered in
+//                    the counter manifest (--counters
+//                    tools/counter_schema.json) — the same manifest
+//                    tools/check_bench_json.py validates emitted ledgers
+//                    against, so C++ emitters and the JSON schema cannot
+//                    drift apart.
 
 #include <optional>
 #include <string>
@@ -59,10 +78,14 @@ struct Violation {
 
 /// One physical source line after tokenization: executable text with
 /// comments / string literals / char literals blanked, plus the comment
-/// text (for annotation parsing).
+/// text (for annotation parsing) and the blanked string literals' contents
+/// (for include-path / counter-name extraction).
 struct CleanLine {
   std::string code;
   std::string comment;
+  /// Contents of each string literal opened on this line, in order. A
+  /// literal fully on this line contributes a `""` pair to `code`.
+  std::vector<std::string> strings;
   bool preprocessor = false;  ///< starts with '#' or continues a directive
 };
 
@@ -90,7 +113,25 @@ struct CleanLine {
     const std::string& root, const std::vector<std::string>& paths);
 
 /// Read + lint every file in `rel_paths` (resolved against `root`).
+/// Equivalent to lint_tree with both semantic phases off.
 [[nodiscard]] std::vector<Violation> lint_paths(
     const std::string& root, const std::vector<std::string>& rel_paths);
+
+/// Semantic-phase configuration for lint_tree. Each phase activates when
+/// its data-file path (resolved against the scan root unless absolute) is
+/// non-empty; an unreadable or malformed data file is itself reported as a
+/// violation, never silently skipped.
+struct TreeOptions {
+  std::string layering_rules;   ///< allowed module-edge list (layering + cycles)
+  std::string counter_schema;   ///< counter manifest JSON (unknown-counter)
+};
+
+/// Read + lint every file in `rel_paths`, then run the cross-file analyses
+/// enabled by `options` (include-graph layering / cycle detection, counter
+/// manifest cross-check). Stale-allow detection covers exactly the rules
+/// whose scanners ran, so an allow for an inactive phase never reads stale.
+[[nodiscard]] std::vector<Violation> lint_tree(
+    const std::string& root, const std::vector<std::string>& rel_paths,
+    const TreeOptions& options);
 
 }  // namespace mkos::lint

@@ -1,12 +1,20 @@
 // mkos-lint CLI.
 //
-//   mkos-lint [--root <dir>] [--list-rules] <path>...
+//   mkos-lint [--root <dir>] [--layering <rules>] [--counters <schema>]
+//             [--list-rules] [<path>...]
 //
 // Paths (files or directories) are resolved against --root (default: the
 // current directory) and the path *relative to the root* decides rule
 // scoping — e.g. the wall-clock telemetry allowlist matches
-// "src/core/campaign.cpp" relative to the root. Exit status: 0 clean,
-// 1 violations found, 2 usage/IO error.
+// "src/core/campaign.cpp" relative to the root. With no paths, the standard
+// tree (src bench tests examples tools) is scanned, so `mkos-lint --root .`
+// and CI cover the same file set by construction.
+//
+// --layering enables the include-graph phase (module-boundary enforcement
+// against the given allowed-edge list, plus cycle detection); --counters
+// enables the counter-manifest cross-check. Both data paths resolve against
+// --root unless absolute. Exit status: 0 clean, 1 violations found,
+// 2 usage/IO error.
 
 #include <cstdio>
 #include <string>
@@ -14,24 +22,46 @@
 
 #include "lint.hpp"
 
+namespace {
+
+constexpr char kUsage[] =
+    "usage: mkos-lint [--root <dir>] [--layering <rules>] "
+    "[--counters <schema>] [--list-rules] [<path>...]\n";
+
+/// The tree as CI lints it; keep in sync with the mkos_lint_tree ctest.
+const std::vector<std::string>& default_paths() {
+  static const std::vector<std::string> kPaths = {"src", "bench", "tests",
+                                                  "examples", "tools"};
+  return kPaths;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
+  mkos::lint::TreeOptions options;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root") {
+    if (arg == "--root" || arg == "--layering" || arg == "--counters") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "mkos-lint: --root needs a directory\n");
+        std::fprintf(stderr, "mkos-lint: %s needs a path\n", arg.c_str());
         return 2;
       }
-      root = argv[++i];
+      if (arg == "--root") {
+        root = argv[++i];
+      } else if (arg == "--layering") {
+        options.layering_rules = argv[++i];
+      } else {
+        options.counter_schema = argv[++i];
+      }
     } else if (arg == "--list-rules") {
       for (const std::string& id : mkos::lint::rule_ids()) {
         std::printf("%s\n", id.c_str());
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: mkos-lint [--root <dir>] [--list-rules] <path>...\n");
+      std::printf("%s", kUsage);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "mkos-lint: unknown option '%s'\n", arg.c_str());
@@ -40,10 +70,7 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) {
-    std::fprintf(stderr, "usage: mkos-lint [--root <dir>] [--list-rules] <path>...\n");
-    return 2;
-  }
+  if (paths.empty()) paths = default_paths();
 
   const std::vector<std::string> files = mkos::lint::collect_sources(root, paths);
   if (files.empty()) {
@@ -51,7 +78,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::vector<mkos::lint::Violation> violations =
-      mkos::lint::lint_paths(root, files);
+      mkos::lint::lint_tree(root, files, options);
   for (const mkos::lint::Violation& v : violations) {
     std::printf("%s\n", mkos::lint::to_string(v).c_str());
   }
