@@ -16,11 +16,14 @@
 //   MKOS_FIG4_MAX_NODES / MKOS_FIG4_REPS env vars shrink the sweep for
 //   quick runs; defaults reproduce the full figure. MKOS_THREADS sets the
 //   pool size (default: hardware concurrency). MKOS_FIG4_SKIP_SERIAL=1
-//   skips the serial reference timing.
+//   skips the serial reference timing. MKOS_CELL_STORE=<dir> attaches the
+//   persistent cell store: finished cells land on disk and later runs load
+//   them instead of resimulating (campaign.store.* counters in the ledger).
 
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <set>
 
 #include "core/campaign.hpp"
 #include "core/obs_glue.hpp"
@@ -87,7 +90,8 @@ int main() {
                      "IPDPS'18 10.1109/IPDPS.2018.00022, Figure 4");
 
   sim::ThreadPool pool(threads);
-  core::CellCache cache;
+  const auto store = core::CellStore::from_env();
+  core::CellCache cache(store.get());
   core::Campaign campaign(pool, cache);
   // mkos-lint: allow(wall-clock) — host telemetry: parallel sweep wall time.
   const auto t0 = std::chrono::steady_clock::now();
@@ -122,8 +126,10 @@ int main() {
   const core::CampaignTelemetry& t = campaign.telemetry();
   std::printf("%s\n", core::describe(t, threads).c_str());
 
-  // Serial reference: same grid, one thread, cold cache. Bit-identical
-  // results (positional seeds), so only the wall clock differs.
+  // Serial reference: same grid, one thread, cold cache — deliberately
+  // store-less even when MKOS_CELL_STORE is set, so the timing measures
+  // actual simulation, not disk loads. Bit-identical results (positional
+  // seeds), so only the wall clock differs.
   double serial_s = 0.0;
   if (sim::env_int("MKOS_FIG4_SKIP_SERIAL", 0, 0, 1) == 0) {
     sim::ThreadPool serial_pool(1);
@@ -146,15 +152,19 @@ int main() {
   core::record_config(ledger, SystemConfig::mos());
   // Cells come back in deterministic grid order; merging their per-rep
   // ledgers in that order keeps the document thread-count independent.
+  // Dedupe by series name (not by from_cache: with a warm disk store every
+  // cell is a cache hit) — the Linux baseline appears in both phases and
+  // must merge exactly once.
+  std::set<std::string> recorded;
   for (const core::CellResult& cell : cells) {
-    if (cell.from_cache && cell.config_label == "Linux") continue;  // phase-2 dups
-    core::record_run_stats(
-        ledger, cell.app + "." + cell.config_label + ".n" + std::to_string(cell.nodes),
-        cell.stats);
+    const std::string series =
+        cell.app + "." + cell.config_label + ".n" + std::to_string(cell.nodes);
+    if (!recorded.insert(series).second) continue;  // phase-2 baseline dups
+    core::record_run_stats(ledger, series, cell.stats);
   }
   ledger.set_gauge("headline.median_ratio", h.median_ratio);
   ledger.set_gauge("headline.best_ratio", h.best_ratio);
-  core::record_campaign(ledger, t, threads);
+  core::record_campaign(ledger, t, threads, store.get());
   ledger.set_host("wall_s_serial", core::json_number(serial_s));
   ledger.set_host("speedup", core::json_number(serial_s > 0.0 && parallel_s > 0.0
                                                    ? serial_s / parallel_s

@@ -30,8 +30,10 @@ int main() {
   both.mckernel_disable_sched_yield = true;
 
   // All 8 cells (2 apps x 4 option sets) fan out across the pool at once.
+  // MKOS_CELL_STORE=<dir> adds the persistent disk tier.
   sim::ThreadPool pool;
-  core::CellCache cache;
+  const auto store = core::CellStore::from_env();
+  core::CellCache cache(store.get());
   core::Campaign campaign(pool, cache);
   core::CampaignSpec spec;
   spec.apps = {"AMG2013", "MiniFE"};
@@ -78,7 +80,8 @@ int main() {
   std::printf("premap avoids the shared-memory fault storm at MPI_Init;\n"
               "the yield hijack removes user/kernel crossings from OpenMP spin loops.\n");
 
-  core::record_campaign(ledger, campaign.telemetry(), sim::ThreadPool::default_threads());
+  core::record_campaign(ledger, campaign.telemetry(), sim::ThreadPool::default_threads(),
+                        store.get());
   core::emit(ledger);
   return 0;
 }

@@ -17,20 +17,56 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
-std::optional<RunStats> CellCache::lookup(std::uint64_t key) {
-  const sim::MutexLock lock(mu_);
-  const auto it = cells_.find(key);
-  if (it == cells_.end()) {
-    ++misses_;
-    return std::nullopt;
+std::optional<RunStats> CellCache::lookup(std::uint64_t key, const CellKey& id,
+                                          bool* from_disk) {
+  if (from_disk != nullptr) *from_disk = false;
+  {
+    const sim::MutexLock lock(mu_);
+    const auto it = cells_.find(key);
+    if (it != cells_.end()) {
+      if (it->second.id == id) {
+        ++hits_;
+        return it->second.stats;
+      }
+      // Hash collision: the slot holds a different cell. Do not serve it —
+      // fall through to the disk tier (which verifies the stored key
+      // itself) and, failing that, report a miss so the caller recomputes.
+      ++collisions_;
+    }
   }
-  ++hits_;
-  return it->second;
+  if (store_ != nullptr) {
+    if (auto loaded = store_->load(key, id)) {
+      {
+        const sim::MutexLock lock(mu_);
+        cells_.insert_or_assign(key, Entry{id, *loaded});
+        ++hits_;
+      }
+      if (from_disk != nullptr) *from_disk = true;
+      return loaded;
+    }
+  }
+  const sim::MutexLock lock(mu_);
+  ++misses_;
+  return std::nullopt;
 }
 
-void CellCache::store(std::uint64_t key, const RunStats& stats) {
-  const sim::MutexLock lock(mu_);
-  cells_.insert_or_assign(key, stats);
+void CellCache::store(std::uint64_t key, const CellKey& id, const RunStats& stats) {
+  {
+    const sim::MutexLock lock(mu_);
+    cells_.insert_or_assign(key, Entry{id, stats});
+  }
+  // Disk write-through happens outside the cache mutex: serialization and
+  // fsync must not serialize other workers' lookups.
+  if (store_ != nullptr) (void)store_->save(key, id, stats);
+}
+
+bool CellCache::contains(std::uint64_t key, const CellKey& id) {
+  {
+    const sim::MutexLock lock(mu_);
+    const auto it = cells_.find(key);
+    if (it != cells_.end() && it->second.id == id) return true;
+  }
+  return store_ != nullptr && store_->contains(key, id);
 }
 
 void CellCache::clear() {
@@ -51,6 +87,11 @@ std::uint64_t CellCache::hits() const {
 std::uint64_t CellCache::misses() const {
   const sim::MutexLock lock(mu_);
   return misses_;
+}
+
+std::uint64_t CellCache::collisions() const {
+  const sim::MutexLock lock(mu_);
+  return collisions_;
 }
 
 std::uint64_t cell_cache_key(std::string_view app_name, const SystemConfig& config,
@@ -75,6 +116,7 @@ std::vector<CellResult> Campaign::run(const CampaignSpec& spec) {
     const SystemConfig* config;
     int nodes;
     std::uint64_t key;
+    CellKey id;
   };
   std::vector<CellResult> results;
   std::vector<Cell> grid;
@@ -84,11 +126,14 @@ std::vector<CellResult> Campaign::run(const CampaignSpec& spec) {
     std::vector<int> counts = spec.nodes;
     if (counts.empty()) counts = probe->node_counts();
     for (const SystemConfig& config : spec.configs) {
+      const std::string config_digest = config.digest();
       for (const int nodes : counts) {
         if (nodes > spec.max_nodes) continue;
         const std::uint64_t key =
             cell_cache_key(app_name, config, nodes, spec.reps, spec.seed);
-        grid.push_back(Cell{results.size(), app_name, &config, nodes, key});
+        grid.push_back(Cell{results.size(), app_name, &config, nodes, key,
+                            CellKey{app_name, config_digest, nodes, spec.reps,
+                                    spec.seed}});
         results.push_back(CellResult{app_name, config.label(), config.fingerprint(),
                                      nodes, RunStats{}, false, 0.0});
       }
@@ -108,13 +153,26 @@ std::vector<CellResult> Campaign::run(const CampaignSpec& spec) {
   // Resolve cache hits up front and dedupe identical cells within this run:
   // the first occurrence of a key simulates, later ones are cache hits by
   // construction (their results are copied after the fan-out completes).
+  // Telemetry splits hits by tier: memory hits and in-run dups are a pure
+  // function of the request sequence (deterministic counter), disk-store
+  // hits depend on what previous processes left behind (host state).
   std::vector<const Cell*> to_simulate;
   std::unordered_map<std::uint64_t, std::size_t> first_occurrence;
   std::vector<std::pair<std::size_t, std::size_t>> duplicates;  // (dst, src) indices
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t skipped = 0;
   for (const Cell& cell : grid) {
-    if (const auto cached = cache_.lookup(cell.key)) {
+    if (spec.resume && cache_.contains(cell.key, cell.id)) {
+      results[cell.result_index].skipped = true;
+      ++skipped;
+      continue;
+    }
+    bool from_disk = false;
+    if (const auto cached = cache_.lookup(cell.key, cell.id, &from_disk)) {
       results[cell.result_index].stats = *cached;
       results[cell.result_index].from_cache = true;
+      ++(from_disk ? disk_hits : memory_hits);
       continue;
     }
     const auto [it, inserted] = first_occurrence.try_emplace(cell.key, cell.result_index);
@@ -123,6 +181,7 @@ std::vector<CellResult> Campaign::run(const CampaignSpec& spec) {
     } else {
       duplicates.emplace_back(cell.result_index, it->second);
       results[cell.result_index].from_cache = true;
+      ++memory_hits;
     }
   }
 
@@ -134,13 +193,15 @@ std::vector<CellResult> Campaign::run(const CampaignSpec& spec) {
     const auto app = workloads::make_app(cell.app);
     out.stats = run_app(*app, *cell.config, cell.nodes, spec.reps, spec.seed);
     out.wall_ms = elapsed_ms(cell_started);
-    cache_.store(cell.key, out.stats);
+    cache_.store(cell.key, cell.id, out.stats);
   });
 
   for (const auto& [dst, src] : duplicates) results[dst].stats = results[src].stats;
 
   telemetry_.cells += grid.size();
-  telemetry_.cache_hits += grid.size() - to_simulate.size();
+  telemetry_.cache_hits += memory_hits;
+  telemetry_.store_hits += disk_hits;
+  telemetry_.skipped += skipped;
   telemetry_.wall_seconds += elapsed_ms(started) / 1e3;
   for (const Cell* cell : to_simulate) {
     telemetry_.cell_wall_ms.add(results[cell->result_index].wall_ms);
@@ -153,6 +214,8 @@ std::string describe(const CampaignTelemetry& t, int threads) {
   table.add_row({"threads", std::to_string(threads)});
   table.add_row({"cells", std::to_string(t.cells)});
   table.add_row({"cache hits", std::to_string(t.cache_hits)});
+  if (t.store_hits > 0) table.add_row({"store hits", std::to_string(t.store_hits)});
+  if (t.skipped > 0) table.add_row({"skipped (stored)", std::to_string(t.skipped)});
   table.add_row({"cache hit rate", fmt_pct(t.hit_rate())});
   table.add_row({"wall seconds", fmt(t.wall_seconds, 3)});
   table.add_row({"cells/s", fmt(t.cells_per_second(), 1)});

@@ -8,6 +8,13 @@
 // the Linux baseline) hit the cache instead of resimulating. Determinism:
 // seeds are positional (see core/experiment.hpp), so cell results are
 // independent of thread count, scheduling, and cache state.
+//
+// The cache is two-tier: an in-memory map always, plus an optional
+// disk-backed CellStore (core/cell_store.hpp) attached at construction.
+// Lookups read through (memory → disk → miss), stores write through; a
+// disk hit populates the memory tier. Every tier stores the full CellKey
+// next to the 64-bit hash and verifies it on hit, so a fingerprint
+// collision is a detected miss, never the wrong cell's statistics.
 
 #include <cstdint>
 #include <optional>
@@ -15,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cell_store.hpp"
 #include "core/experiment.hpp"
 #include "sim/histogram.hpp"
 #include "sim/thread_pool.hpp"
@@ -23,23 +31,54 @@
 namespace mkos::core {
 
 /// Thread-safe memoization of finished cells, keyed by
-/// hash(cell_fingerprint, reps). Apps are identified by registry name, which
-/// pins their parameters, so equal keys imply equal simulations.
+/// hash(cell_fingerprint, reps) and verified against the full CellKey.
+/// Apps are identified by registry name, which pins their parameters, so
+/// equal keys imply equal simulations.
 class CellCache {
  public:
-  [[nodiscard]] std::optional<RunStats> lookup(std::uint64_t key) MKOS_EXCLUDES(mu_);
-  void store(std::uint64_t key, const RunStats& stats) MKOS_EXCLUDES(mu_);
+  CellCache() = default;
+  /// Attach a disk tier (borrowed; may be nullptr for memory-only). The
+  /// store must outlive the cache.
+  explicit CellCache(CellStore* store) : store_(store) {}
+
+  /// Two-tier read-through. On a hash collision (entry present under `key`
+  /// but with a different CellKey) the memory entry is not trusted: the
+  /// collision is counted and the lookup falls through to the disk tier —
+  /// which performs its own key verification — then to a miss. Sets
+  /// `*from_disk` (when non-null) iff the hit was served by the store.
+  [[nodiscard]] std::optional<RunStats> lookup(std::uint64_t key, const CellKey& id,
+                                               bool* from_disk = nullptr)
+      MKOS_EXCLUDES(mu_);
+  /// Write-through: memory immediately, then the store (best-effort, I/O
+  /// outside the cache mutex). Colliding keys are last-writer-wins.
+  void store(std::uint64_t key, const CellKey& id, const RunStats& stats)
+      MKOS_EXCLUDES(mu_);
+  /// True when either tier holds a verified entry for (key, id), without
+  /// rebuilding statistics — the resumable-sweep probe. Does not perturb
+  /// the memory tier's hit/miss counters.
+  [[nodiscard]] bool contains(std::uint64_t key, const CellKey& id) MKOS_EXCLUDES(mu_);
+  /// Clears the memory tier only; the disk tier persists by design.
   void clear() MKOS_EXCLUDES(mu_);
 
+  [[nodiscard]] CellStore* disk() const { return store_; }
   [[nodiscard]] std::size_t size() const MKOS_EXCLUDES(mu_);
   [[nodiscard]] std::uint64_t hits() const MKOS_EXCLUDES(mu_);
   [[nodiscard]] std::uint64_t misses() const MKOS_EXCLUDES(mu_);
+  /// Memory-tier hash collisions detected (key verified, id differed).
+  [[nodiscard]] std::uint64_t collisions() const MKOS_EXCLUDES(mu_);
 
  private:
+  struct Entry {
+    CellKey id;
+    RunStats stats;
+  };
+
+  CellStore* store_ = nullptr;
   mutable sim::Mutex mu_;
-  std::unordered_map<std::uint64_t, RunStats> cells_ MKOS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Entry> cells_ MKOS_GUARDED_BY(mu_);
   std::uint64_t hits_ MKOS_GUARDED_BY(mu_) = 0;
   std::uint64_t misses_ MKOS_GUARDED_BY(mu_) = 0;
+  std::uint64_t collisions_ MKOS_GUARDED_BY(mu_) = 0;
 };
 
 /// Cache key for one cell; `reps` participates because a 2-rep and a 5-rep
@@ -55,6 +94,11 @@ struct CampaignSpec {
   int reps = 5;
   std::uint64_t seed = 42;
   int max_nodes = 1 << 30;
+  /// Resumable sweep: cells whose key the cache (memory or disk store)
+  /// already holds are skipped outright — marked CellResult::skipped with
+  /// empty statistics, nothing loaded or simulated. For "what remains"
+  /// passes over a partially-filled store; leave false to get full results.
+  bool resume = false;
 };
 
 struct CellResult {
@@ -65,20 +109,29 @@ struct CellResult {
   RunStats stats;
   bool from_cache = false;
   double wall_ms = 0.0;  ///< host time to simulate (0 for cache hits)
+  bool skipped = false;  ///< resume mode: already stored, stats left empty
 };
 
 /// Cumulative runner telemetry across Campaign::run calls.
 struct CampaignTelemetry {
   std::uint64_t cells = 0;       ///< cells requested
-  std::uint64_t cache_hits = 0;  ///< cells served from cache (incl. in-run dups)
+  /// Cells served deterministically: memory-tier hits and in-run dups. A
+  /// pure function of the request sequence — independent of disk state —
+  /// so it belongs in the ledger's deterministic counter block.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t store_hits = 0;  ///< cells served by the disk store (host state)
+  std::uint64_t skipped = 0;     ///< resume mode: cells skipped as already stored
   double wall_seconds = 0.0;     ///< host wall time inside run()
   sim::Histogram cell_wall_ms{1e-3, 1e5, 4};  ///< per simulated cell, host ms
 
   [[nodiscard]] double cells_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds : 0.0;
   }
+  /// Fraction of requested cells served without simulation (either tier).
   [[nodiscard]] double hit_rate() const {
-    return cells > 0 ? static_cast<double>(cache_hits) / static_cast<double>(cells) : 0.0;
+    return cells > 0 ? static_cast<double>(cache_hits + store_hits) /
+                           static_cast<double>(cells)
+                     : 0.0;
   }
 };
 

@@ -1,0 +1,295 @@
+#include "core/cell_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <system_error>
+#include <utility>
+
+#include "obs/ledger.hpp"
+#include "sim/format.hpp"
+#include "sim/json.hpp"
+
+namespace mkos::core {
+
+namespace {
+
+/// Same FNV-1a 64 the fingerprints use; here over raw payload bytes.
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+/// The entry's first line, sans newline. Verification re-renders this from
+/// the observed payload and compares byte-wise: one comparison checks the
+/// magic, the format version, the declared length and the checksum at once.
+std::string header_line(std::size_t payload_len, std::uint64_t crc) {
+  return "mkos-cell v" + std::to_string(CellStore::kFormatVersion) +
+         " len=" + std::to_string(payload_len) + " crc=" + hex16(crc);
+}
+
+std::string key_json(const CellKey& id) {
+  std::string out = "{\"app\": " + sim::json_quote(id.app);
+  out += ", \"config_digest\": " + sim::json_quote(id.config_digest);
+  out += ", \"nodes\": " + std::to_string(id.nodes);
+  out += ", \"reps\": " + std::to_string(id.reps);
+  out += ", \"seed\": " + std::to_string(id.seed);
+  out += "}";
+  return out;
+}
+
+std::string fom_samples_json(const sim::Summary& fom) {
+  std::string out = "[";
+  bool first = true;
+  for (const double v : fom.samples()) {
+    if (!first) out += ", ";
+    first = false;
+    out += sim::json_number(v);
+  }
+  out += "]";
+  return out;
+}
+
+/// json_number() emits non-finite doubles as null; read null back as NaN
+/// (mirrors the ledger storage codec's convention).
+bool read_stored_double(const sim::JsonValue& v, double* out) {
+  if (v.is_null()) {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  const auto d = v.as_double();
+  if (!d) return false;
+  *out = *d;
+  return true;
+}
+
+/// Move a corrupt entry aside for post-mortem; if even that fails, delete
+/// it so the next save can replace it. Best-effort by design.
+void quarantine(const std::string& path) {
+  const std::string aside = path + ".quarantined";
+  if (std::rename(path.c_str(), aside.c_str()) != 0) (void)std::remove(path.c_str());
+}
+
+bool read_file(const std::string& path, std::string* out, bool* existed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    *existed = false;
+    return false;
+  }
+  *existed = true;
+  std::string blob((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) return false;
+  *out = std::move(blob);
+  return true;
+}
+
+}  // namespace
+
+CellStore::CellStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  // create_directories reports false+no-error for an already-existing dir;
+  // ready means "the path exists and is a directory now".
+  ready_ = !ec && std::filesystem::is_directory(root_, ec) && !ec;
+}
+
+std::unique_ptr<CellStore> CellStore::from_env() {
+  const char* root = std::getenv(kEnvVar);
+  if (root == nullptr || root[0] == '\0') return nullptr;
+  auto store = std::make_unique<CellStore>(std::string(root));
+  if (!store->ready()) {
+    std::fprintf(stderr, "warning: %s=%s is not a usable directory; cell store disabled\n",
+                 kEnvVar, root);
+    return nullptr;
+  }
+  return store;
+}
+
+std::string CellStore::entry_path(std::uint64_t key) const {
+  return root_ + "/" + hex16(key) + ".cell";
+}
+
+CellStore::ReadOutcome CellStore::read_entry(std::uint64_t key, const CellKey& id,
+                                             RunStats* out) {
+  const auto finish = [this](ReadOutcome outcome, std::uint64_t bytes) {
+    const sim::MutexLock lock(mu_);
+    switch (outcome) {
+      case ReadOutcome::kHit:
+        ++counters_.hits;
+        counters_.bytes_read += bytes;
+        break;
+      case ReadOutcome::kMiss:
+        ++counters_.misses;
+        break;
+      case ReadOutcome::kCorrupt:
+        ++counters_.misses;
+        ++counters_.corrupt;
+        break;
+      case ReadOutcome::kKeyMismatch:
+        ++counters_.misses;
+        ++counters_.key_mismatches;
+        break;
+    }
+    return outcome;
+  };
+  if (!ready_) return finish(ReadOutcome::kMiss, 0);
+
+  const std::string path = entry_path(key);
+  std::string blob;
+  bool existed = false;
+  if (!read_file(path, &blob, &existed)) {
+    if (!existed) return finish(ReadOutcome::kMiss, 0);
+    quarantine(path);
+    return finish(ReadOutcome::kCorrupt, 0);
+  }
+  const auto corrupt = [&] {
+    quarantine(path);
+    return finish(ReadOutcome::kCorrupt, 0);
+  };
+
+  // Header: everything before the first newline must equal the line we
+  // would write for the observed payload (zero-length and truncated files
+  // fail here; so do bad checksums and foreign format versions).
+  const std::size_t eol = blob.find('\n');
+  if (eol == std::string::npos) return corrupt();
+  const std::string payload = blob.substr(eol + 1);
+  if (blob.compare(0, eol, header_line(payload.size(), fnv1a64(payload))) != 0) {
+    return corrupt();
+  }
+
+  std::string parse_error;
+  const auto doc = sim::json_parse(payload, &parse_error);
+  if (!doc || !doc->is_object()) return corrupt();
+
+  const sim::JsonValue* schema = doc->find("schema");
+  const sim::JsonValue* schema_version = doc->find("schema_version");
+  const sim::JsonValue* ledger_version = doc->find("ledger_schema_version");
+  const sim::JsonValue* fingerprint = doc->find("fingerprint");
+  if (schema == nullptr || !schema->is_string() || schema->as_string() != kSchemaId ||
+      schema_version == nullptr ||
+      schema_version->as_u64() != std::optional<std::uint64_t>(kFormatVersion) ||
+      ledger_version == nullptr ||
+      ledger_version->as_u64() !=
+          std::optional<std::uint64_t>(static_cast<std::uint64_t>(obs::kSchemaVersion)) ||
+      fingerprint == nullptr || !fingerprint->is_string() ||
+      fingerprint->as_string() != hex16(key)) {
+    return corrupt();
+  }
+
+  // Collision check: the stored key must match the requested cell on every
+  // field, not just on the 64-bit hash the filename encodes.
+  const sim::JsonValue* key_block = doc->find("key");
+  if (key_block == nullptr || !key_block->is_object()) return corrupt();
+  const sim::JsonValue* app = key_block->find("app");
+  const sim::JsonValue* digest = key_block->find("config_digest");
+  const sim::JsonValue* nodes = key_block->find("nodes");
+  const sim::JsonValue* reps = key_block->find("reps");
+  const sim::JsonValue* seed = key_block->find("seed");
+  if (app == nullptr || !app->is_string() || digest == nullptr ||
+      !digest->is_string() || nodes == nullptr || !nodes->as_i64() ||
+      reps == nullptr || !reps->as_i64() || seed == nullptr || !seed->as_u64()) {
+    return corrupt();
+  }
+  CellKey stored;
+  stored.app = app->as_string();
+  stored.config_digest = digest->as_string();
+  stored.nodes = static_cast<int>(*nodes->as_i64());
+  stored.reps = static_cast<int>(*reps->as_i64());
+  stored.seed = *seed->as_u64();
+  if (!(stored == id)) return finish(ReadOutcome::kKeyMismatch, 0);
+
+  if (out != nullptr) {
+    const sim::JsonValue* unit = doc->find("unit");
+    const sim::JsonValue* samples = doc->find("fom_samples");
+    const sim::JsonValue* ledger = doc->find("ledger");
+    if (unit == nullptr || !unit->is_string() || samples == nullptr ||
+        !samples->is_array() || ledger == nullptr) {
+      return corrupt();
+    }
+    RunStats stats;
+    stats.unit = unit->as_string();
+    for (const sim::JsonValue& sample : samples->items()) {
+      double v = 0.0;
+      if (!read_stored_double(sample, &v)) return corrupt();
+      stats.fom.add(v);
+    }
+    std::string restore_error;
+    if (!stats.ledger.restore_storage_json(*ledger, &restore_error)) return corrupt();
+    *out = std::move(stats);
+  }
+  return finish(ReadOutcome::kHit, blob.size());
+}
+
+std::optional<RunStats> CellStore::load(std::uint64_t key, const CellKey& id) {
+  RunStats stats;
+  if (read_entry(key, id, &stats) != ReadOutcome::kHit) return std::nullopt;
+  return stats;
+}
+
+bool CellStore::contains(std::uint64_t key, const CellKey& id) {
+  return read_entry(key, id, nullptr) == ReadOutcome::kHit;
+}
+
+bool CellStore::save(std::uint64_t key, const CellKey& id, const RunStats& stats) {
+  if (!ready_) return false;
+
+  sim::JsonObject doc;
+  doc.text("schema", kSchemaId);
+  doc.integer("schema_version", kFormatVersion);
+  doc.integer("ledger_schema_version", obs::kSchemaVersion);
+  doc.text("fingerprint", hex16(key));
+  doc.raw("key", key_json(id));
+  doc.text("unit", stats.unit);
+  doc.raw("fom_samples", fom_samples_json(stats.fom));
+  doc.raw("ledger", stats.ledger.to_storage_json());
+  const std::string payload = doc.to_string();
+  const std::string blob = header_line(payload.size(), fnv1a64(payload)) + "\n" + payload;
+
+  // Atomic publish: write a pid-suffixed sibling, fsync, rename into place.
+  // Concurrent processes writing the same key race benignly (identical
+  // content by the determinism contract; rename is atomic either way).
+  const std::string path = entry_path(key);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  const bool flushed = wrote && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!(wrote && flushed && closed)) {
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  {
+    const sim::MutexLock lock(mu_);
+    ++counters_.writes;
+    counters_.bytes_written += blob.size();
+  }
+  return true;
+}
+
+CellStoreCounters CellStore::counters() const {
+  const sim::MutexLock lock(mu_);
+  return counters_;
+}
+
+}  // namespace mkos::core

@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include <cstdio>
+
 #include "hw/knl.hpp"
 
 namespace mkos::core {
@@ -54,6 +56,32 @@ std::uint64_t SystemConfig::fingerprint() const {
   // ledger meta) exactly as it was before the fault subsystem existed.
   if (resilience.enabled()) mix(resilience.fingerprint());
   return h;
+}
+
+std::string SystemConfig::digest() const {
+  // Mirrors fingerprint()'s field sequence exactly; see the header contract.
+  std::string out = "os=" + std::to_string(static_cast<int>(os));
+  out += " mem=" + std::to_string(static_cast<int>(mem_mode));
+  out += " cores=" + std::to_string(app_cores) + "+" + std::to_string(service_cores);
+  out += " flags=";
+  for (const bool b : {linux_nohz_full, linux_thp, hpc_brk, lwk_prefer_mcdram,
+                       mckernel_demand_fallback, mckernel_mpol_shm_premap,
+                       mckernel_disable_sched_yield, mos_partition_mcdram,
+                       user_space_network, co_tenant}) {
+    out += b ? '1' : '0';
+  }
+  // Like fingerprint(): an inert resilience spec is invisible, so digests
+  // (and therefore stored cells) survive the fault subsystem being compiled
+  // in or out.
+  if (resilience.enabled()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " res=%016llx",
+                  static_cast<unsigned long long>(resilience.fingerprint()));
+    out += buf;
+  } else {
+    out += " res=off";
+  }
+  return out;
 }
 
 kernel::NodeOsConfig SystemConfig::node_config() const {

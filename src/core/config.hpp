@@ -64,6 +64,16 @@ struct SystemConfig {
   /// stay identical across processes and runs.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
+  /// Canonical rendering of exactly the fields fingerprint() hashes, in
+  /// hash order ("os=1 mem=0 cores=64+4 flags=0111010000 res=off"). The
+  /// campaign cache stores this next to the 64-bit hash and compares it on
+  /// every hit: two configs whose knobs differ can collide on the hash, but
+  /// never on the digest, so a collision reads as a miss instead of serving
+  /// the wrong cell. Keep in lockstep with fingerprint() — a field added to
+  /// one but not the other either defeats collision detection or invalidates
+  /// every stored cell.
+  [[nodiscard]] std::string digest() const;
+
   [[nodiscard]] kernel::NodeOsConfig node_config() const;
   [[nodiscard]] hw::NodeTopology node_topology() const;
   [[nodiscard]] hw::NetworkModel network() const;

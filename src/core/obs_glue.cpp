@@ -50,11 +50,25 @@ void record_run_stats(obs::RunLedger& ledger, const std::string& series,
 }
 
 void record_campaign(obs::RunLedger& ledger, const CampaignTelemetry& telemetry,
-                     int threads) {
+                     int threads, const CellStore* store) {
   // Cells and cache hits are functions of the grid alone (positional seeds,
   // deterministic in-run dedup), so they belong to the deterministic block.
   ledger.incr("campaign.cells", telemetry.cells);
   ledger.incr("campaign.cache_hits", telemetry.cache_hits);
+  // The store group reflects on-disk state from previous runs: comparators
+  // strip `campaign.store.*` alongside the host block. Emitted only when a
+  // store is attached so store-less ledgers keep their exact legacy bytes.
+  if (store != nullptr) {
+    const CellStoreCounters c = store->counters();
+    ledger.incr("campaign.store.hits", c.hits);
+    ledger.incr("campaign.store.misses", c.misses);
+    ledger.incr("campaign.store.writes", c.writes);
+    ledger.incr("campaign.store.corrupt", c.corrupt);
+    ledger.incr("campaign.store.key_mismatches", c.key_mismatches);
+    ledger.incr("campaign.store.bytes_read", c.bytes_read);
+    ledger.incr("campaign.store.bytes_written", c.bytes_written);
+    ledger.incr("campaign.store.skipped", telemetry.skipped);
+  }
   // Wall time and throughput vary run to run: host block only.
   ledger.set_host("threads", std::to_string(threads));
   ledger.set_host("wall_seconds", json_number(telemetry.wall_seconds));

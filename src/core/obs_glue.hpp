@@ -42,8 +42,15 @@ void record_run_stats(obs::RunLedger& ledger, const std::string& series,
 /// Campaign runner telemetry: deterministic cell/cache counters, plus the
 /// host-only block (threads, wall seconds, cells/s, per-cell wall-time
 /// histogram — excluded from byte-identity comparisons).
+///
+/// With a non-null `store`, additionally records the `campaign.store.*`
+/// counter group (hits/misses/writes/corrupt/key_mismatches/bytes_*).
+/// These depend on what previous runs left on disk, so — like the host
+/// block — comparators strip them; they are only emitted when a store is
+/// actually attached, keeping store-less ledgers byte-identical to
+/// pre-store builds.
 void record_campaign(obs::RunLedger& ledger, const CampaignTelemetry& telemetry,
-                     int threads);
+                     int threads, const CellStore* store = nullptr);
 
 /// Write the ledger to BENCH_<bench_id>.json (the id stamped by
 /// bench_ledger). Prints the path on success, a warning on failure.

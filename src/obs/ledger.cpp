@@ -1,5 +1,6 @@
 #include "obs/ledger.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <utility>
@@ -7,21 +8,6 @@
 #include "sim/format.hpp"
 
 namespace mkos::obs {
-
-template <typename T>
-T& RunLedger::Section<T>::at(const std::string& name, T initial) {
-  const auto it = index.find(name);
-  if (it != index.end()) return entries[it->second].value;
-  index.emplace(name, entries.size());
-  entries.push_back(Entry<T>{name, std::move(initial)});
-  return entries.back().value;
-}
-
-template <typename T>
-const T* RunLedger::Section<T>::find(const std::string& name) const {
-  const auto it = index.find(name);
-  return it == index.end() ? nullptr : &entries[it->second].value;
-}
 
 void RunLedger::set_meta(const std::string& key, const std::string& value) {
   meta_.at(key, std::string{}) = value;
@@ -191,9 +177,25 @@ bool RunLedger::write_json(std::ostream& os) const {
 }
 
 bool RunLedger::write_json(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return false;
-  return write_json(out);
+  // Temp-then-rename: writing in place meant an interrupted bench left a
+  // truncated BENCH_*.json that check_bench_json.py reported as malformed
+  // rather than absent. rename(2) is atomic within a filesystem, so readers
+  // only ever observe the old document or the complete new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    if (!write_json(out)) {
+      out.close();
+      (void)std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::string RunLedger::to_csv() const {

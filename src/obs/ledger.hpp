@@ -32,6 +32,10 @@
 #include "sim/stats.hpp"
 #include "sim/thread_safety.hpp"
 
+namespace mkos::sim {
+class JsonValue;
+}  // namespace mkos::sim
+
 namespace mkos::obs {
 
 /// Bumped whenever the JSON layout changes shape.
@@ -93,8 +97,29 @@ class MKOS_THREAD_CONFINED("one campaign cell task, merged post-join") RunLedger
   /// Serialize to a stream / file, reporting success. A full disk, a closed
   /// pipe or an unwritable path returns false instead of silently producing
   /// a truncated document (callers decide whether that is fatal).
+  ///
+  /// The path overload is atomic: the document is written to `path + ".tmp"`
+  /// and renamed over `path` only once complete, so an interrupted bench
+  /// leaves either the previous document intact or the new one whole —
+  /// never a truncated file that schema checkers read as malformed.
   bool write_json(std::ostream& os) const;
   bool write_json(const std::string& path) const;
+
+  /// Full-fidelity serialization for the campaign cell store. Unlike
+  /// to_json() — a reporting document that aggregates summaries and drops
+  /// empty histogram bins — this round-trips the ledger exactly: summaries
+  /// keep their raw samples in insertion order, histograms their
+  /// constructed shape and raw bin/tail counts, host values their
+  /// pre-serialized bytes. restore_storage_json(parse(to_storage_json()))
+  /// reproduces a ledger whose to_json() is byte-identical to the source's.
+  [[nodiscard]] std::string to_storage_json() const;
+
+  /// Rebuild this ledger from a parsed storage document, replacing any
+  /// current contents. Returns false on any shape violation (wrong types,
+  /// out-of-range bins, non-integer counters) with a one-line reason in
+  /// `*error` (when non-null); the ledger is left empty in that case —
+  /// a corrupt store entry must never half-populate a cell.
+  bool restore_storage_json(const sim::JsonValue& doc, std::string* error);
 
   /// Flat CSV (section,name,value) of the deterministic scalar sections.
   [[nodiscard]] std::string to_csv() const;
@@ -112,8 +137,17 @@ class MKOS_THREAD_CONFINED("one campaign cell task, merged post-join") RunLedger
     std::vector<Entry<T>> entries;
     std::unordered_map<std::string, std::size_t> index;
 
-    T& at(const std::string& name, T initial);
-    [[nodiscard]] const T* find(const std::string& name) const;
+    T& at(const std::string& name, T initial) {
+      const auto it = index.find(name);
+      if (it != index.end()) return entries[it->second].value;
+      index.emplace(name, entries.size());
+      entries.push_back(Entry<T>{name, std::move(initial)});
+      return entries.back().value;
+    }
+    [[nodiscard]] const T* find(const std::string& name) const {
+      const auto it = index.find(name);
+      return it == index.end() ? nullptr : &entries[it->second].value;
+    }
   };
 
   Section<std::string> meta_;

@@ -1,0 +1,217 @@
+// Full-fidelity RunLedger (de)serialization for the campaign cell store.
+//
+// to_json() is a *reporting* document: summaries collapse to aggregate
+// statistics and histograms drop empty bins and their construction shape.
+// The cell store needs the opposite trade — an exact round-trip — so this
+// codec serializes the raw private state (sample vectors in insertion
+// order, histogram shapes and dense-indexed counts, host bytes verbatim)
+// and rebuilds it under strict validation: a corrupt entry fails loudly
+// and leaves the target ledger empty, never half-populated or aborted on.
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "obs/ledger.hpp"
+#include "sim/format.hpp"
+#include "sim/json.hpp"
+
+namespace mkos::obs {
+
+namespace {
+
+/// Largest bin array a restored histogram may allocate. Real shapes are a
+/// few hundred bins; the cap keeps a bit-flipped shape field from turning
+/// into a multi-gigabyte allocation before validation can reject it.
+constexpr double kMaxRestoredBins = 1 << 20;
+
+std::string histogram_storage_json(const sim::Histogram& h) {
+  std::string out = "{\"min_value\": " + sim::json_number(h.min_value());
+  out += ", \"max_value\": " + sim::json_number(h.max_value());
+  out += ", \"bins_per_decade\": " + std::to_string(h.bins_per_decade());
+  out += ", \"underflow\": " + std::to_string(h.underflow());
+  out += ", \"overflow\": " + std::to_string(h.overflow());
+  out += ", \"bins\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    if (h.bin(i) == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += '[' + std::to_string(i) + ", " + std::to_string(h.bin(i)) + ']';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string samples_storage_json(const sim::Summary& s) {
+  std::string out = "[";
+  bool first = true;
+  for (const double v : s.samples()) {
+    if (!first) out += ", ";
+    first = false;
+    out += sim::json_number(v);
+  }
+  out += "]";
+  return out;
+}
+
+bool codec_fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+/// The storage value for a double: json_number() emits non-finite values
+/// as null, so null reads back as quiet NaN (the only non-finite the
+/// ledger can carry without distinguishing inf signs — documented loss,
+/// and to_json() re-emits null either way, preserving byte identity).
+bool read_stored_double(const sim::JsonValue& v, double* out) {
+  if (v.is_null()) {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  const auto d = v.as_double();
+  if (!d) return false;
+  *out = *d;
+  return true;
+}
+
+}  // namespace
+
+std::string RunLedger::to_storage_json() const {
+  const auto section_json = [](const auto& entries, const auto& render) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& e : entries) {
+      if (!first) out += ", ";
+      first = false;
+      out += sim::json_quote(e.name) + ": " + render(e.value);
+    }
+    out += "}";
+    return out;
+  };
+  sim::JsonObject doc;
+  doc.raw("meta", section_json(meta_.entries, [](const std::string& v) {
+            return sim::json_quote(v);
+          }));
+  doc.raw("counters", section_json(counters_.entries, [](std::uint64_t v) {
+            return std::to_string(v);
+          }));
+  doc.raw("gauges", section_json(gauges_.entries, [](double v) {
+            return sim::json_number(v);
+          }));
+  doc.raw("summaries", section_json(summaries_.entries, [](const sim::Summary& v) {
+            return samples_storage_json(v);
+          }));
+  doc.raw("histograms", section_json(histograms_.entries, [](const sim::Histogram& v) {
+            return histogram_storage_json(v);
+          }));
+  // Host values are pre-serialized JSON; store the bytes as a string so the
+  // restore is verbatim rather than a parse/re-print normalization.
+  doc.raw("host", section_json(host_.entries, [](const std::string& v) {
+            return sim::json_quote(v);
+          }));
+  return doc.to_string();
+}
+
+bool RunLedger::restore_storage_json(const sim::JsonValue& doc, std::string* error) {
+  RunLedger restored;
+  if (!doc.is_object()) return codec_fail(error, "ledger block is not an object");
+  for (const char* section : {"meta", "counters", "gauges", "summaries",
+                              "histograms", "host"}) {
+    const sim::JsonValue* sec = doc.find(section);
+    if (sec == nullptr || !sec->is_object()) {
+      return codec_fail(error, std::string("ledger section '") + section +
+                                   "' missing or not an object");
+    }
+  }
+
+  for (const auto& [name, value] : doc.find("meta")->members()) {
+    if (!value.is_string()) return codec_fail(error, "meta '" + name + "' not a string");
+    restored.set_meta(name, value.as_string());
+  }
+  for (const auto& [name, value] : doc.find("counters")->members()) {
+    const auto v = value.as_u64();
+    if (!v) {
+      return codec_fail(error, "counter '" + name + "' not a non-negative integer");
+    }
+    restored.counters_.at(name, 0) = *v;
+  }
+  for (const auto& [name, value] : doc.find("gauges")->members()) {
+    double v = 0.0;
+    if (!read_stored_double(value, &v)) {
+      return codec_fail(error, "gauge '" + name + "' not a number");
+    }
+    restored.set_gauge(name, v);
+  }
+  for (const auto& [name, value] : doc.find("summaries")->members()) {
+    if (!value.is_array()) {
+      return codec_fail(error, "summary '" + name + "' not a sample array");
+    }
+    // Touch the entry first: a zero-sample summary must still exist so the
+    // restored reporting document lists it exactly like the original.
+    sim::Summary& s = restored.summaries_.at(name, sim::Summary{});
+    for (const sim::JsonValue& sample : value.items()) {
+      double v = 0.0;
+      if (!read_stored_double(sample, &v)) {
+        return codec_fail(error, "summary '" + name + "' has a non-number sample");
+      }
+      s.add(v);
+    }
+  }
+  for (const auto& [name, value] : doc.find("histograms")->members()) {
+    const auto bad = [&](const char* what) {
+      return codec_fail(error, "histogram '" + name + "': " + what);
+    };
+    if (!value.is_object()) return bad("not an object");
+    const sim::JsonValue* min_v = value.find("min_value");
+    const sim::JsonValue* max_v = value.find("max_value");
+    const sim::JsonValue* bpd_v = value.find("bins_per_decade");
+    const sim::JsonValue* under_v = value.find("underflow");
+    const sim::JsonValue* over_v = value.find("overflow");
+    const sim::JsonValue* bins_v = value.find("bins");
+    if (min_v == nullptr || max_v == nullptr || bpd_v == nullptr ||
+        under_v == nullptr || over_v == nullptr || bins_v == nullptr ||
+        !bins_v->is_array()) {
+      return bad("missing shape or bins");
+    }
+    const auto min_value = min_v->as_double();
+    const auto max_value = max_v->as_double();
+    const auto bpd = bpd_v->as_i64();
+    const auto under = under_v->as_u64();
+    const auto over = over_v->as_u64();
+    if (!min_value || !max_value || !bpd || !under || !over) {
+      return bad("malformed shape field");
+    }
+    // Validate what the Histogram constructor would otherwise enforce with
+    // aborting contracts — corrupt entries must fail softly — plus an
+    // allocation cap the constructor does not need.
+    if (!std::isfinite(*min_value) || !std::isfinite(*max_value) ||
+        *min_value <= 0.0 || *max_value <= *min_value || *bpd < 1) {
+      return bad("invalid shape");
+    }
+    const double bins =
+        std::ceil((std::log10(*max_value) - std::log10(*min_value)) *
+                  static_cast<double>(*bpd));
+    if (!(bins >= 1.0) || bins > kMaxRestoredBins) return bad("implausible bin count");
+    sim::Histogram& h = restored.histograms_.at(
+        name, sim::Histogram{*min_value, *max_value, static_cast<int>(*bpd)});
+    h.add_underflow_raw(*under);
+    h.add_overflow_raw(*over);
+    for (const sim::JsonValue& bin : bins_v->items()) {
+      if (!bin.is_array() || bin.items().size() != 2) return bad("malformed bin");
+      const auto index = bin.items()[0].as_u64();
+      const auto count = bin.items()[1].as_u64();
+      if (!index || !count || *index >= h.bin_count()) return bad("bin out of range");
+      h.add_bin_raw(static_cast<std::size_t>(*index), *count);
+    }
+  }
+  for (const auto& [name, value] : doc.find("host")->members()) {
+    if (!value.is_string()) return codec_fail(error, "host '" + name + "' not a string");
+    restored.set_host(name, value.as_string());
+  }
+
+  *this = std::move(restored);
+  return true;
+}
+
+}  // namespace mkos::obs

@@ -50,6 +50,22 @@ void Histogram::merge(const Histogram& other) {
   overflow_ += other.overflow_;
 }
 
+void Histogram::add_bin_raw(std::size_t i, std::uint64_t count) {
+  MKOS_EXPECTS(i < counts_.size());
+  counts_[i] += count;
+  total_ += count;
+}
+
+void Histogram::add_underflow_raw(std::uint64_t count) {
+  underflow_ += count;
+  total_ += count;
+}
+
+void Histogram::add_overflow_raw(std::uint64_t count) {
+  overflow_ += count;
+  total_ += count;
+}
+
 double Histogram::bin_lower(std::size_t i) const {
   return std::pow(10.0, log_min_ + static_cast<double>(i) / bins_per_decade_);
 }

@@ -35,6 +35,19 @@ class Histogram {
   [[nodiscard]] double bin_upper(std::size_t i) const { return bin_lower(i + 1); }
   [[nodiscard]] double min_value() const { return min_value_; }
   [[nodiscard]] double max_value() const { return max_value_; }
+  /// The shape argument the histogram was constructed with (exact: stored
+  /// from the ctor's int), so a serializer can rebuild an identical shape.
+  [[nodiscard]] int bins_per_decade() const {
+    return static_cast<int>(bins_per_decade_);
+  }
+
+  // Deserialization support (campaign cell store): accumulate raw counts
+  // into a specific bin / the under- or overflow tails, bypassing value
+  // binning. `total()` is maintained, so restoring every serialized count
+  // reproduces the source histogram bit-for-bit.
+  void add_bin_raw(std::size_t i, std::uint64_t count);
+  void add_underflow_raw(std::uint64_t count);
+  void add_overflow_raw(std::uint64_t count);
 
   /// Quantile estimate (linear within the containing log bin), q in [0,1].
   /// Quantiles landing in the overflow tail saturate at the top bin edge —

@@ -1,0 +1,324 @@
+#include "sim/json.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace mkos::sim {
+
+std::optional<double> JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(scalar_.c_str(), &end);
+  if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> JsonValue::as_u64() const {
+  if (kind_ != Kind::kNumber) return std::nullopt;
+  // Integer token only: a fraction or exponent means the emitter used
+  // json_number, and treating 1e3 as 1 would corrupt counters silently.
+  if (scalar_.empty() || scalar_.find_first_of(".eE-") != std::string::npos) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::int64_t> JsonValue::as_i64() const {
+  if (kind_ != Kind::kNumber) return std::nullopt;
+  if (scalar_.empty() || scalar_.find_first_of(".eE") != std::string::npos) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+/// Recursive-descent parser over the raw bytes. Depth is bounded so a
+/// maliciously nested (or bit-flipped) store entry cannot blow the stack.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue root;
+    if (!value(root, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      set_error("trailing content after the document");
+      return std::nullopt;
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+
+  void set_error(const std::string& why) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = why + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool expect_literal(const char* word, JsonValue& out, JsonValue::Kind kind,
+                      bool bool_value) {
+    for (const char* w = word; *w != '\0'; ++w, ++pos_) {
+      if (at_end() || peek() != *w) {
+        set_error(std::string("invalid literal (expected '") + word + "')");
+        return false;
+      }
+    }
+    out.kind_ = kind;
+    out.bool_ = bool_value;
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) {
+      set_error("nesting deeper than 64 levels");
+      return false;
+    }
+    if (at_end()) {
+      set_error("unexpected end of input");
+      return false;
+    }
+    switch (peek()) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"': out.kind_ = JsonValue::Kind::kString; return string(&out.scalar_);
+      case 't': return expect_literal("true", out, JsonValue::Kind::kBool, true);
+      case 'f': return expect_literal("false", out, JsonValue::Kind::kBool, false);
+      case 'n': return expect_literal("null", out, JsonValue::Kind::kNull, false);
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out, int depth) {  // NOLINT(misc-no-recursion)
+    out.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (at_end() || peek() != ':') {
+        set_error("expected ':' after object key");
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.object_.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (at_end()) {
+        set_error("unterminated object");
+        return false;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      if (peek() != ',') {
+        set_error("expected ',' or '}' in object");
+        return false;
+      }
+      ++pos_;
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {  // NOLINT(misc-no-recursion)
+    out.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue item;
+      if (!value(item, depth + 1)) return false;
+      out.array_.push_back(std::move(item));
+      skip_ws();
+      if (at_end()) {
+        set_error("unterminated array");
+        return false;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      if (peek() != ',') {
+        set_error("expected ',' or ']' in array");
+        return false;
+      }
+      ++pos_;
+    }
+  }
+
+  static int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  /// Append `code` (a Unicode scalar value) to `out` as UTF-8.
+  static void append_utf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool string(std::string* out) {
+    if (at_end() || peek() != '"') {
+      set_error("expected string");
+      return false;
+    }
+    ++pos_;
+    while (!at_end()) {
+      const auto c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        set_error("unescaped control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (at_end()) break;
+        switch (peek()) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              if (at_end()) {
+                set_error("truncated \\u escape");
+                return false;
+              }
+              const int h = hex_digit(peek());
+              if (h < 0) {
+                set_error("bad hex digit in \\u escape");
+                return false;
+              }
+              code = code * 16 + static_cast<unsigned>(h);
+            }
+            // The emitter only writes \u00XX control escapes; surrogate
+            // pairs never occur in our documents, so lone surrogates fail.
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              set_error("surrogate \\u escape unsupported");
+              return false;
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default: set_error("invalid escape in string"); return false;
+        }
+        ++pos_;
+      } else {
+        *out += static_cast<char>(c);
+        ++pos_;
+      }
+    }
+    set_error("unterminated string");
+    return false;
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    auto digit = [&] {
+      return !at_end() && peek() >= '0' && peek() <= '9';
+    };
+    if (!at_end() && peek() == '-') ++pos_;
+    if (!digit()) {
+      set_error("invalid number");
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (!digit()) {
+        set_error("digits required after decimal point");
+        return false;
+      }
+      while (digit()) ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digit()) {
+        set_error("digits required in exponent");
+        return false;
+      }
+      while (digit()) ++pos_;
+    }
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.scalar_ = text_.substr(start, pos_ - start);
+    return true;
+  }
+};
+
+std::optional<JsonValue> json_parse(const std::string& text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return JsonParser(text, error).run();
+}
+
+}  // namespace mkos::sim

@@ -98,6 +98,25 @@ TEST(Fingerprint, CellSeedsArePositional) {
   EXPECT_NE(rep_seed(fp, 0, 0), rep_seed(fp, 0, 1));
 }
 
+TEST(Fingerprint, DigestRendersExactlyTheHashedKnobs) {
+  // digest() must distinguish everything fingerprint() distinguishes — it
+  // is the collision detector for the 64-bit hash.
+  EXPECT_EQ(SystemConfig::mckernel().digest(), SystemConfig::mckernel().digest());
+  EXPECT_NE(SystemConfig::mckernel().digest(), SystemConfig::mos().digest());
+  SystemConfig c = SystemConfig::mckernel();
+  SystemConfig d = c;
+  d.mckernel_mpol_shm_premap = true;
+  EXPECT_NE(c.digest(), d.digest());
+  d = c;
+  d.app_cores = 32;
+  EXPECT_NE(c.digest(), d.digest());
+  // An inert resilience spec stays invisible, like in fingerprint(): stored
+  // cells must survive the fault subsystem being configured in or out.
+  SystemConfig e = c;
+  e.resilience = fault::Spec{};
+  EXPECT_EQ(c.digest(), e.digest());
+}
+
 // ------------------------------------------------------------- determinism
 
 TEST(Campaign, ParallelRunAppIsBitIdenticalToSerial) {
@@ -199,6 +218,35 @@ TEST(Campaign, GridOrderIsAppMajorAndCapped) {
   EXPECT_EQ(cells[2].nodes, 64);
   EXPECT_EQ(cells[0].config_label, "McKernel");
   EXPECT_GT(cells[0].stats.median(), 0.0);
+}
+
+TEST(CellCache, FingerprintCollisionIsAMissNotTheWrongCell) {
+  // Regression: the cache used to key on the 64-bit fingerprint alone, so
+  // two cells colliding on the hash silently shared one result. The full
+  // CellKey now rides along and is verified on every hit.
+  CellCache cache;
+  RunStats stats;
+  stats.fom.add(123.0);
+  stats.unit = "Mflops";
+  const std::uint64_t key = 0xC0111DEDULL;  // one hash, two distinct cells
+  const CellKey a{"MiniFE", SystemConfig::mckernel().digest(), 16, 2, 5};
+  const CellKey b{"HPCG", SystemConfig::mos().digest(), 32, 2, 5};
+
+  cache.store(key, a, stats);
+  ASSERT_TRUE(cache.lookup(key, a).has_value());
+  EXPECT_EQ(cache.collisions(), 0u);
+
+  // The colliding cell must read as a miss, not as MiniFE's statistics.
+  EXPECT_FALSE(cache.lookup(key, b).has_value());
+  EXPECT_EQ(cache.collisions(), 1u);
+  EXPECT_TRUE(cache.contains(key, a));
+  EXPECT_FALSE(cache.contains(key, b));
+
+  // Recompute-and-store is last-writer-wins on the colliding slot.
+  cache.store(key, b, stats);
+  EXPECT_FALSE(cache.lookup(key, a).has_value());
+  EXPECT_TRUE(cache.lookup(key, b).has_value());
+  EXPECT_EQ(cache.collisions(), 2u);
 }
 
 // --------------------------------------------------- relative_to guarding

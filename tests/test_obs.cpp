@@ -184,6 +184,53 @@ TEST(RunLedger, WriteJsonReportsFailureToOpenOrWrite) {
   EXPECT_EQ(ok.str(), l.to_json());
 }
 
+TEST(RunLedger, WriteJsonIsAtomicTempThenRename) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "mkos_atomic_write_test";
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directories(dir));
+  const std::string path = (dir / "BENCH_t.json").string();
+
+  // Seed the destination with a previous, complete document.
+  obs::RunLedger old_ledger;
+  old_ledger.set_meta("bench", "previous");
+  ASSERT_TRUE(old_ledger.write_json(path));
+  std::string old_bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    old_bytes = buf.str();
+  }
+
+  // Force the new write to fail before the rename: occupy the temp path
+  // with a directory so the ofstream cannot open. (A permission-based
+  // failure would be bypassed when the suite runs as root.)
+  ASSERT_TRUE(fs::create_directories(path + ".tmp"));
+  obs::RunLedger new_ledger;
+  new_ledger.set_meta("bench", "interrupted");
+  EXPECT_FALSE(new_ledger.write_json(path));
+  // The previous document survives byte for byte — never truncated.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), old_bytes);
+  }
+
+  // With the obstruction gone the write lands whole and cleans up its temp.
+  ASSERT_TRUE(fs::remove(path + ".tmp"));
+  ASSERT_TRUE(new_ledger.write_json(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), new_ledger.to_json());
+  }
+  fs::remove_all(dir);
+}
+
 TEST(RunLedger, ToCsvListsScalarSections) {
   obs::RunLedger l;
   l.set_meta("bench", "csv");

@@ -18,6 +18,17 @@ Usage:
   check_bench_json.py --strip-host FILE       print canonical JSON with the
                                               host section removed (for
                                               determinism diffs)
+  check_bench_json.py --strip-host --strip-counters campaign.store FILE
+                                              additionally drop counters under
+                                              the given dotted prefix (repeat
+                                              the flag for several prefixes);
+                                              used by CI's warm-cache diff,
+                                              where campaign.store.* depends
+                                              on on-disk state by design
+
+Every failure — including an unreadable or non-JSON input or counter
+manifest — exits non-zero with a one-line `FAIL <path>: <reason>` naming
+the offending file, never a traceback.
 """
 
 import argparse
@@ -41,10 +52,26 @@ def fail(path, msg):
     raise ValueError(f"{path}: {msg}")
 
 
+def load_json(path):
+    """Parse `path` as JSON, naming the file in every failure.
+
+    json.JSONDecodeError and OSError messages don't carry the path; when a
+    bench script feeds several ledgers (or a bad --schema), a bare
+    "Expecting value: line 1 column 1" is useless. Re-raise as the checker's
+    own ValueError with the path up front.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except json.JSONDecodeError as e:
+        fail(path, f"not valid JSON: {e.msg} (line {e.lineno} column {e.colno})")
+    except OSError as e:
+        fail(path, f"unreadable: {e.strerror or e}")
+
+
 def load_counter_schema(path):
     """Load the counter manifest: {group: (closed, frozenset(counters))}."""
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+    doc = load_json(path)
     if not isinstance(doc, dict) or doc.get("schema") != COUNTER_SCHEMA_ID:
         fail(path, f"schema is {doc.get('schema')!r}, expected {COUNTER_SCHEMA_ID!r}")
     groups = doc.get("groups")
@@ -153,26 +180,34 @@ def main():
                          "next to this script)")
     ap.add_argument("--strip-host", action="store_true",
                     help="print canonical JSON without the host section")
+    ap.add_argument("--strip-counters", action="append", default=[],
+                    metavar="PREFIX",
+                    help="with a canonical-JSON mode, also drop counters "
+                         "named PREFIX or PREFIX.* (repeatable)")
     args = ap.parse_args()
 
     try:
         counter_groups = load_counter_schema(args.schema)
-    except (OSError, ValueError) as e:
+    except ValueError as e:
         print(f"FAIL {e}", file=sys.stderr)
         return 1
 
     status = 0
     for path in args.files:
         try:
-            with open(path, encoding="utf-8") as f:
-                doc = json.load(f)
+            doc = load_json(path)
             check_ledger(path, doc, counter_groups)
-        except (OSError, ValueError) as e:
+        except ValueError as e:
             print(f"FAIL {e}", file=sys.stderr)
             status = 1
             continue
-        if args.strip_host:
-            doc.pop("host", None)
+        if args.strip_host or args.strip_counters:
+            if args.strip_host:
+                doc.pop("host", None)
+            doc["counters"] = {
+                k: v for k, v in doc["counters"].items()
+                if not any(k == p or k.startswith(p + ".")
+                           for p in args.strip_counters)}
             print(json.dumps(doc, indent=1, sort_keys=True))
         else:
             print(f"ok   {path}")

@@ -1,0 +1,104 @@
+#!/bin/sh
+# End-to-end I/O failure tests for tools/check_bench_json.py.
+#
+# The checker is the last line of defense for bench artifacts, so its own
+# failure modes must be clean: an unreadable or garbage --schema manifest or
+# ledger exits non-zero with a one-line FAIL naming the offending path —
+# never a Python traceback, and never a false "ok". Wired as a ctest (see
+# tests/CMakeLists.txt) when a python3 is on PATH.
+#
+# Usage: test_check_bench_json.sh <path-to-check_bench_json.py>
+set -u
+
+CHECKER=${1:?usage: $0 <check_bench_json.py>}
+PYTHON=${PYTHON:-python3}
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+failures=0
+
+# expect <name> <want_status> <must_contain> <must_not_contain> -- cmd...
+expect() {
+    name=$1 want=$2 contain=$3 not_contain=$4
+    shift 4
+    shift  # the literal "--"
+    out=$("$@" 2>&1)
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL $name: exit $got, wanted $want" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        failures=$((failures + 1))
+        return
+    fi
+    if [ -n "$contain" ] && ! printf '%s' "$out" | grep -qF -- "$contain"; then
+        echo "FAIL $name: output does not mention '$contain'" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        failures=$((failures + 1))
+        return
+    fi
+    if [ -n "$not_contain" ] && printf '%s' "$out" | grep -qF -- "$not_contain"; then
+        echo "FAIL $name: output contains forbidden '$not_contain'" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok   $name"
+}
+
+# A minimal valid ledger + the real counter schema for the positive case.
+SCHEMA_DIR=$(dirname "$CHECKER")
+cat > "$TMP/good.json" <<'EOF'
+{
+  "schema": "mkos.run_ledger.v1",
+  "schema_version": 1,
+  "meta": {"bench": "t"},
+  "counters": {"campaign.cells": 4},
+  "gauges": {},
+  "summaries": {},
+  "histograms": {},
+  "host": {}
+}
+EOF
+printf 'this is not json{' > "$TMP/garbage.json"
+
+expect valid_ledger_passes 0 "ok" "Traceback" -- \
+    "$PYTHON" "$CHECKER" "$TMP/good.json"
+
+expect garbage_ledger_names_path 1 "$TMP/garbage.json" "Traceback" -- \
+    "$PYTHON" "$CHECKER" "$TMP/garbage.json"
+
+expect missing_ledger_names_path 1 "$TMP/absent.json" "Traceback" -- \
+    "$PYTHON" "$CHECKER" "$TMP/absent.json"
+
+expect garbage_schema_names_path 1 "$TMP/garbage.json" "Traceback" -- \
+    "$PYTHON" "$CHECKER" --schema "$TMP/garbage.json" "$TMP/good.json"
+
+expect missing_schema_names_path 1 "$TMP/no_schema.json" "Traceback" -- \
+    "$PYTHON" "$CHECKER" --schema "$TMP/no_schema.json" "$TMP/good.json"
+
+# One bad ledger in a batch must not mask the good one, and still exit 1.
+expect batch_reports_both 1 "ok" "Traceback" -- \
+    "$PYTHON" "$CHECKER" "$TMP/good.json" "$TMP/garbage.json"
+
+# --strip-counters drops the prefix group from canonical output.
+cat > "$TMP/store.json" <<'EOF'
+{
+  "schema": "mkos.run_ledger.v1",
+  "schema_version": 1,
+  "meta": {},
+  "counters": {"campaign.cells": 4, "campaign.store.hits": 9},
+  "gauges": {},
+  "summaries": {},
+  "histograms": {},
+  "host": {}
+}
+EOF
+expect strip_counters_drops_group 0 "campaign.cells" "campaign.store.hits" -- \
+    "$PYTHON" "$CHECKER" --schema "$SCHEMA_DIR/counter_schema.json" \
+    --strip-host --strip-counters campaign.store "$TMP/store.json"
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures check_bench_json test(s) failed" >&2
+    exit 1
+fi
+echo "all check_bench_json tests passed"
