@@ -37,5 +37,6 @@ mkos_add_bench(syscall_matrix)
 mkos_add_bench(hotpath_sampling)
 mkos_add_bench(event_queue)
 mkos_add_bench(perf_smoke)
+mkos_add_bench(sweep_sched)
 mkos_add_bench(resilience)
 mkos_add_gbench(micro_substrates)

@@ -1,7 +1,14 @@
 #include "core/cell_store.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -76,6 +83,112 @@ bool read_stored_double(const sim::JsonValue& v, double* out) {
   if (!d) return false;
   *out = *d;
   return true;
+}
+
+/// Extract and validate the stored key block. False on any missing or
+/// mistyped field (the entry is corrupt, not merely foreign).
+bool parse_key_block(const sim::JsonValue& doc, CellKey* out) {
+  const sim::JsonValue* key_block = doc.find("key");
+  if (key_block == nullptr || !key_block->is_object()) return false;
+  const sim::JsonValue* app = key_block->find("app");
+  const sim::JsonValue* digest = key_block->find("config_digest");
+  const sim::JsonValue* nodes = key_block->find("nodes");
+  const sim::JsonValue* reps = key_block->find("reps");
+  const sim::JsonValue* seed = key_block->find("seed");
+  if (app == nullptr || !app->is_string() || digest == nullptr ||
+      !digest->is_string() || nodes == nullptr || !nodes->as_i64() ||
+      reps == nullptr || !reps->as_i64() || seed == nullptr || !seed->as_u64()) {
+    return false;
+  }
+  out->app = app->as_string();
+  out->config_digest = digest->as_string();
+  out->nodes = static_cast<int>(*nodes->as_i64());
+  out->reps = static_cast<int>(*reps->as_i64());
+  out->seed = *seed->as_u64();
+  return true;
+}
+
+/// Verify one scanned blob (filename `<hex16>.cell`) and extract its index
+/// entry. Mirrors read_entry's header/schema/key checks, minus quarantine
+/// and ledger reconstruction — the index needs identity and FoM only.
+bool parse_index_entry(const std::string& blob, const std::string& name,
+                       CellIndexEntry* out) {
+  if (name.size() != 16 + 5) return false;  // "<16 hex>.cell"
+  std::uint64_t key = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = name[static_cast<std::size_t>(i)];
+    key <<= 4;
+    if (c >= '0' && c <= '9') {
+      key |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      key |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  const std::size_t eol = blob.find('\n');
+  if (eol == std::string::npos) return false;
+  const std::string payload = blob.substr(eol + 1);
+  if (blob.compare(0, eol, header_line(payload.size(), fnv1a64(payload))) != 0) {
+    return false;
+  }
+  std::string parse_error;
+  const auto doc = sim::json_parse(payload, &parse_error);
+  if (!doc || !doc->is_object()) return false;
+  const sim::JsonValue* schema = doc->find("schema");
+  const sim::JsonValue* schema_version = doc->find("schema_version");
+  const sim::JsonValue* fingerprint = doc->find("fingerprint");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != CellStore::kSchemaId || schema_version == nullptr ||
+      schema_version->as_u64() !=
+          std::optional<std::uint64_t>(CellStore::kFormatVersion) ||
+      fingerprint == nullptr || !fingerprint->is_string() ||
+      fingerprint->as_string() != hex16(key)) {
+    return false;
+  }
+  if (!parse_key_block(*doc, &out->id)) return false;
+  const sim::JsonValue* unit = doc->find("unit");
+  const sim::JsonValue* samples = doc->find("fom_samples");
+  if (unit == nullptr || !unit->is_string() || samples == nullptr ||
+      !samples->is_array()) {
+    return false;
+  }
+  out->unit = unit->as_string();
+  for (const sim::JsonValue& sample : samples->items()) {
+    double v = 0.0;
+    if (!read_stored_double(sample, &v)) return false;
+    out->fom_samples.push_back(v);
+  }
+  out->key = key;
+  return true;
+}
+
+/// Claim-file body (sans newline); see the protocol note in the header.
+std::string claim_line(std::uint64_t gen, long long pid) {
+  return "mkos-claim v1 gen=" + std::to_string(gen) +
+         " pid=" + std::to_string(pid);
+}
+
+/// Parse a claim file's single line. False when the file is not a
+/// well-formed v1 claim (treated as reclaimable — an empty or torn claim
+/// must not wedge the cell forever).
+bool parse_claim(const std::string& blob, std::uint64_t* gen, long long* pid) {
+  unsigned long long g = 0;
+  long long p = 0;
+  if (std::sscanf(blob.c_str(), "mkos-claim v1 gen=%llu pid=%lld", &g, &p) != 2) {
+    return false;
+  }
+  *gen = g;
+  *pid = p;
+  return true;
+}
+
+/// Is the claiming process still alive? kill(pid, 0) probes without
+/// signaling; EPERM means "alive but not ours", which still counts.
+bool pid_alive(long long pid) {
+  if (pid <= 0) return false;
+  if (pid == static_cast<long long>(::getpid())) return true;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
 }
 
 /// Move a corrupt entry aside for post-mortem; if even that fails, delete
@@ -193,24 +306,8 @@ CellStore::ReadOutcome CellStore::read_entry(std::uint64_t key, const CellKey& i
 
   // Collision check: the stored key must match the requested cell on every
   // field, not just on the 64-bit hash the filename encodes.
-  const sim::JsonValue* key_block = doc->find("key");
-  if (key_block == nullptr || !key_block->is_object()) return corrupt();
-  const sim::JsonValue* app = key_block->find("app");
-  const sim::JsonValue* digest = key_block->find("config_digest");
-  const sim::JsonValue* nodes = key_block->find("nodes");
-  const sim::JsonValue* reps = key_block->find("reps");
-  const sim::JsonValue* seed = key_block->find("seed");
-  if (app == nullptr || !app->is_string() || digest == nullptr ||
-      !digest->is_string() || nodes == nullptr || !nodes->as_i64() ||
-      reps == nullptr || !reps->as_i64() || seed == nullptr || !seed->as_u64()) {
-    return corrupt();
-  }
   CellKey stored;
-  stored.app = app->as_string();
-  stored.config_digest = digest->as_string();
-  stored.nodes = static_cast<int>(*nodes->as_i64());
-  stored.reps = static_cast<int>(*reps->as_i64());
-  stored.seed = *seed->as_u64();
+  if (!parse_key_block(*doc, &stored)) return corrupt();
   if (!(stored == id)) return finish(ReadOutcome::kKeyMismatch, 0);
 
   if (out != nullptr) {
@@ -260,12 +357,17 @@ bool CellStore::save(std::uint64_t key, const CellKey& id, const RunStats& stats
   const std::string payload = doc.to_string();
   const std::string blob = header_line(payload.size(), fnv1a64(payload)) + "\n" + payload;
 
-  // Atomic publish: write a pid-suffixed sibling, fsync, rename into place.
-  // Concurrent processes writing the same key race benignly (identical
-  // content by the determinism contract; rename is atomic either way).
+  // Atomic publish: write a uniquely named sibling, fsync, rename into
+  // place. Concurrent writers of the same key race benignly (identical
+  // content by the determinism contract; rename is atomic either way) —
+  // the pid distinguishes processes and the sequence number distinguishes
+  // threads within one process (two in-process shards sharing a store
+  // directory must not truncate each other's temp file mid-write).
+  static std::atomic<std::uint64_t> tmp_seq{0};
   const std::string path = entry_path(key);
   const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) + "." +
+      std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
   const bool wrote = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
@@ -285,6 +387,131 @@ bool CellStore::save(std::uint64_t key, const CellKey& id, const RunStats& stats
     counters_.bytes_written += blob.size();
   }
   return true;
+}
+
+bool CellStore::has_entry(std::uint64_t key) const {
+  if (!ready_) return false;
+  std::error_code ec;
+  return std::filesystem::exists(entry_path(key), ec) && !ec;
+}
+
+std::string CellStore::claim_path(std::uint64_t key) const {
+  return root_ + "/" + hex16(key) + ".claim";
+}
+
+CellStore::ClaimOutcome CellStore::try_claim(std::uint64_t key) {
+  const auto finish = [this](ClaimOutcome outcome) {
+    const sim::MutexLock lock(mu_);
+    if (outcome == ClaimOutcome::kAcquired) {
+      ++counters_.claims;
+    } else {
+      ++counters_.claim_races;
+    }
+    return outcome;
+  };
+  if (!ready_) return finish(ClaimOutcome::kBusy);
+
+  const std::string path = claim_path(key);
+  const long long self = static_cast<long long>(::getpid());
+  // Fast path: atomic O_EXCL create wins or loses the race outright.
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd >= 0) {
+    const std::string line = claim_line(/*gen=*/1, self) + "\n";
+    const bool wrote =
+        ::write(fd, line.data(), line.size()) == static_cast<ssize_t>(line.size());
+    (void)::close(fd);
+    // A failed body write leaves an empty claim; it parses as stale and a
+    // sibling reclaims it, so we must not pretend to hold it.
+    return finish(wrote ? ClaimOutcome::kAcquired : ClaimOutcome::kBusy);
+  }
+  if (errno != EEXIST) return finish(ClaimOutcome::kBusy);
+
+  // Slow path: somebody holds (or held) the claim. A live owner wins; a
+  // dead or unparseable one is reclaimed with a bumped generation.
+  std::string blob;
+  bool existed = false;
+  if (!read_file(path, &blob, &existed)) {
+    // Vanished between open and read: the owner released. Don't retry in a
+    // loop — the caller treats busy as "skip this cell", duplicates of the
+    // unclaimed-cell scan are cheap.
+    return finish(ClaimOutcome::kBusy);
+  }
+  std::uint64_t gen = 0;
+  long long owner = 0;
+  if (parse_claim(blob, &gen, &owner) && pid_alive(owner)) {
+    return finish(ClaimOutcome::kBusy);
+  }
+  // Reclaim: write the successor claim aside and atomically rename it over
+  // the stale one. Two racing reclaimers both "win" benignly — the cell
+  // computes twice, entry publication is last-writer-wins.
+  const std::string tmp = path + ".tmp." + std::to_string(self);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return finish(ClaimOutcome::kBusy);
+  const std::string line = claim_line(gen + 1, self) + "\n";
+  const bool wrote = std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!(wrote && closed) || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return finish(ClaimOutcome::kBusy);
+  }
+  return finish(ClaimOutcome::kAcquired);
+}
+
+void CellStore::release_claim(std::uint64_t key) const {
+  (void)std::remove(claim_path(key).c_str());
+}
+
+std::vector<CellIndexEntry> CellStore::scan_index(std::uint64_t* corrupt) const {
+  std::vector<CellIndexEntry> index;
+  if (corrupt != nullptr) *corrupt = 0;
+  if (!ready_) return index;
+
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::filesystem::path& p = it->path();
+    if (p.extension() == ".cell") names.push_back(p.filename().string());
+  }
+  std::sort(names.begin(), names.end());
+
+  const auto bad = [corrupt] {
+    if (corrupt != nullptr) ++*corrupt;
+  };
+  for (const std::string& name : names) {
+    const std::string path = root_ + "/" + name;
+    // mmap the entry read-only: the scan verifies and parses in place, so a
+    // million-cell store indexes without double-buffering every file.
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      bad();
+      continue;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+      (void)::close(fd);
+      bad();
+      continue;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    (void)::close(fd);
+    if (map == MAP_FAILED) {
+      bad();
+      continue;
+    }
+    const std::string blob(static_cast<const char*>(map), size);
+    (void)::munmap(map, size);
+
+    CellIndexEntry entry;
+    if (!parse_index_entry(blob, name, &entry)) {
+      bad();
+      continue;
+    }
+    entry.bytes = size;
+    index.push_back(std::move(entry));
+  }
+  return index;
 }
 
 CellStoreCounters CellStore::counters() const {

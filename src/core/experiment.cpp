@@ -115,7 +115,7 @@ RunStats run_app(workloads::App& app, const SystemConfig& config, int nodes, int
 }
 
 RunStats run_app(std::string_view app_name, const SystemConfig& config, int nodes,
-                 int reps, std::uint64_t seed, sim::ThreadPool& pool) {
+                 int reps, std::uint64_t seed, sim::TaskPool& pool) {
   MKOS_EXPECTS(reps >= 1);
   registry_app(app_name);  // fail fast on unknown names, before fan-out
   const std::uint64_t fp = cell_fingerprint(app_name, config, nodes, seed);
@@ -143,7 +143,7 @@ std::vector<ScalingPoint> scaling_sweep(workloads::App& app, const SystemConfig&
 
 std::vector<ScalingPoint> scaling_sweep(std::string_view app_name,
                                         const SystemConfig& config, int reps,
-                                        std::uint64_t seed, sim::ThreadPool& pool,
+                                        std::uint64_t seed, sim::TaskPool& pool,
                                         int max_nodes, obs::RunLedger* ledger) {
   MKOS_EXPECTS(reps >= 1);
   const auto probe = registry_app(app_name);

@@ -56,7 +56,7 @@ struct RunStats {
 /// registry name). Bit-identical to the serial overload.
 [[nodiscard]] RunStats run_app(std::string_view app_name, const SystemConfig& config,
                                int nodes, int reps, std::uint64_t seed,
-                               sim::ThreadPool& pool);
+                               sim::TaskPool& pool);
 
 struct ScalingPoint {
   int nodes = 0;
@@ -81,7 +81,7 @@ struct ScalingPoint {
 [[nodiscard]] std::vector<ScalingPoint> scaling_sweep(std::string_view app_name,
                                                       const SystemConfig& config,
                                                       int reps, std::uint64_t seed,
-                                                      sim::ThreadPool& pool,
+                                                      sim::TaskPool& pool,
                                                       int max_nodes = 1 << 30,
                                                       obs::RunLedger* ledger = nullptr);
 

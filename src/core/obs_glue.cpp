@@ -1,6 +1,9 @@
 #include "core/obs_glue.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include "core/report.hpp"
 #include "sim/contracts.hpp"
@@ -69,6 +72,22 @@ void record_campaign(obs::RunLedger& ledger, const CampaignTelemetry& telemetry,
     ledger.incr("campaign.store.bytes_written", c.bytes_written);
     ledger.incr("campaign.store.skipped", telemetry.skipped);
   }
+  // Scheduler group: steal/claim traffic depends on thread timing and on
+  // what sibling shards did — host state, stripped by comparators exactly
+  // like campaign.store.*. Gated on a work-stealing pool having run so
+  // FIFO-pool ledgers keep their exact legacy bytes.
+  if (telemetry.sched_active) {
+    ledger.incr("campaign.sched.steals", telemetry.sched_steals);
+    ledger.incr("campaign.sched.steal_fails", telemetry.sched_steal_fails);
+    ledger.incr("campaign.sched.local_pops", telemetry.sched_local_pops);
+    ledger.incr("campaign.sched.claims", telemetry.sched_claims);
+    ledger.incr("campaign.sched.claim_races", telemetry.sched_claim_races);
+    // The imbalance gauge lives in the host block, not gauges: the ledger's
+    // gauges section is part of the deterministic byte-compare surface and
+    // --strip-counters only filters counters.
+    ledger.set_host("campaign.sched.imbalance",
+                    json_number(telemetry.sched_imbalance));
+  }
   // Wall time and throughput vary run to run: host block only.
   ledger.set_host("threads", std::to_string(threads));
   ledger.set_host("wall_seconds", json_number(telemetry.wall_seconds));
@@ -79,7 +98,16 @@ void record_campaign(obs::RunLedger& ledger, const CampaignTelemetry& telemetry,
 bool emit(const obs::RunLedger& ledger) {
   const std::string* id = ledger.meta("bench");
   MKOS_EXPECTS(id != nullptr);  // stamp identity with bench_ledger() first
-  const std::string path = "BENCH_" + *id + ".json";
+  std::string path = "BENCH_" + *id + ".json";
+  // MKOS_BENCH_DIR redirects artifacts out of the CWD (CI runs benches from
+  // build/; ad-hoc runs should not litter the repo root). Best-effort
+  // directory creation; an unusable dir surfaces as the write warning.
+  const char* dir = std::getenv("MKOS_BENCH_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    path = std::string(dir) + "/" + path;
+  }
   if (!ledger.write_json(path)) {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
     return false;

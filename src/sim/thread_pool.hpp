@@ -1,16 +1,18 @@
 #pragma once
-// Fixed-size thread pool for the campaign engine.
+// Task pools for the campaign engine.
 //
-// Deliberately work-stealing-free: one shared FIFO queue, a fixed worker
-// count, no task priorities. Campaign cells are coarse (a full simulated
-// app run each), so a single locked queue is nowhere near contended and the
-// FIFO order keeps scheduling easy to reason about. Determinism is never the
-// pool's job — tasks derive every random stream from positional seeds and
-// write results into caller-indexed slots, so execution order cannot leak
-// into results.
+// TaskPool is the scheduling seam: the campaign fans cells out through this
+// interface and never learns how the pool places or orders work. Two
+// implementations exist — this file's ThreadPool (one shared FIFO queue, the
+// deliberately simple default) and sim/work_stealing_pool.hpp (per-worker
+// deques with cost-guided placement for skewed cell mixes). Determinism is
+// never the pool's job — tasks derive every random stream from positional
+// seeds and write results into caller-indexed slots, so execution order
+// cannot leak into results; either pool yields bit-identical output.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -20,25 +22,58 @@
 
 namespace mkos::sim {
 
-class ThreadPool {
+class TaskPool {
  public:
   using Task = std::function<void()>;
 
+  /// Scheduler telemetry snapshot (see WorkStealingPool). `active` is false
+  /// for cost-oblivious pools, whose other fields stay zero.
+  struct SchedTelemetry {
+    bool active = false;
+    std::uint64_t steals = 0;       ///< tasks taken from a foreign deque
+    std::uint64_t steal_fails = 0;  ///< full scans that raced to nothing
+    std::uint64_t local_pops = 0;   ///< tasks served from the owner's deque
+    double imbalance = 0.0;         ///< max/mean executed cost across workers
+  };
+
+  virtual ~TaskPool() = default;
+
+  /// Enqueue a task. Tasks must not throw and must not call back into the
+  /// pool's blocking APIs (wait_idle / parallel_for) — cells are leaves.
+  virtual void submit(Task task) = 0;
+
+  /// Enqueue with a relative execution-cost estimate. Cost-aware pools use
+  /// it for placement; the base forwards to submit(), dropping the hint.
+  virtual void submit_weighted(double cost, Task task);
+
+  /// Block until the queue is empty AND no task is executing.
+  virtual void wait_idle() = 0;
+
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// True when submit_weighted's cost actually steers placement — callers
+  /// may then order submissions heaviest-first (LPT) for better makespans.
+  [[nodiscard]] virtual bool cost_aware() const { return false; }
+
+  /// Cumulative scheduler counters; meaningful after wait_idle().
+  [[nodiscard]] virtual SchedTelemetry sched_telemetry() const { return {}; }
+};
+
+class ThreadPool final : public TaskPool {
+ public:
   /// Spawns `threads` workers (>= 1). Defaults to `default_threads()`.
   explicit ThreadPool(int threads = default_threads());
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Tasks must not throw and must not call back into the
-  /// pool's blocking APIs (wait_idle / parallel_for) — cells are leaves.
-  void submit(Task task) MKOS_EXCLUDES(mu_);
+  void submit(Task task) override MKOS_EXCLUDES(mu_);
+  void wait_idle() override MKOS_EXCLUDES(mu_);
 
-  /// Block until the queue is empty AND no task is executing.
-  void wait_idle() MKOS_EXCLUDES(mu_);
-
-  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] int size() const override {
+    return static_cast<int>(workers_.size());
+  }
 
   /// Total tasks completed over the pool's lifetime.
   [[nodiscard]] std::uint64_t completed() const MKOS_EXCLUDES(mu_);
@@ -65,7 +100,16 @@ class ThreadPool {
 /// exception thrown by any body is rethrown in the caller (remaining
 /// iterations still run to completion). Must not be called from inside a
 /// pool task.
-void parallel_for(ThreadPool& pool, std::size_t n,
+void parallel_for(TaskPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
+
+/// parallel_for with a per-index cost estimate (`costs.size() == n`). On a
+/// cost-aware pool, indices are submitted heaviest-first (LPT order, ties in
+/// index order) through submit_weighted so the skewed tail starts early; on
+/// a FIFO pool, submission stays in index order — byte-identical scheduling
+/// to plain parallel_for. Results are unaffected either way: bodies write
+/// caller-indexed slots.
+void parallel_for_weighted(TaskPool& pool, const std::vector<double>& costs,
+                           const std::function<void(std::size_t)>& body);
 
 }  // namespace mkos::sim

@@ -1,0 +1,17 @@
+// Closed-group fixture for the dotted campaign.sched group: one registered
+// literal (clean) and one unregistered literal in the same closed group —
+// the group key contains a dot, so prefix matching must take the longest
+// registered group, not the first dot.
+
+namespace mkos::core {
+
+struct Ledger {
+  void incr(const char* name) { (void)name; }
+};
+
+void emit_sched(Ledger& ledger) {
+  ledger.incr("campaign.sched.steals");  // registered: clean
+  ledger.incr("campaign.sched.bogus");   // unregistered literal, closed group
+}
+
+}  // namespace mkos::core

@@ -9,7 +9,10 @@
 #include <stdexcept>
 
 #include "core/campaign.hpp"
+#include "core/obs_glue.hpp"
 #include "sim/thread_pool.hpp"
+#include "sim/work_stealing_pool.hpp"
+#include "workloads/app.hpp"
 
 namespace {
 
@@ -67,6 +70,134 @@ TEST(ThreadPool, DefaultThreadsRejectsGarbageEnv) {
   EXPECT_EXIT((void)sim::ThreadPool::default_threads(), ::testing::ExitedWithCode(2),
               "MKOS_THREADS");
   ASSERT_EQ(unsetenv("MKOS_THREADS"), 0);
+}
+
+// ------------------------------------------------------ work-stealing pool
+
+TEST(WorkStealingPool, RunsEverySubmittedTask) {
+  sim::WorkStealingPool pool(4);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&hits] { hits.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 100);
+  EXPECT_EQ(pool.completed(), 100u);
+  EXPECT_EQ(pool.size(), 4);
+  EXPECT_TRUE(pool.cost_aware());
+}
+
+TEST(WorkStealingPool, WeightedParallelForCoversEveryIndexOnce) {
+  sim::WorkStealingPool pool(3);
+  std::vector<std::atomic<int>> seen(257);
+  std::vector<double> costs(seen.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    costs[i] = static_cast<double>(i % 7 + 1);  // skewed, but every index runs
+  }
+  sim::parallel_for_weighted(pool, costs,
+                             [&seen](std::size_t i) { seen[i].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+
+  // Every task was served exactly once: from the owner's deque or a steal.
+  const sim::TaskPool::SchedTelemetry t = pool.sched_telemetry();
+  EXPECT_TRUE(t.active);
+  EXPECT_EQ(t.local_pops + t.steals, seen.size());
+  EXPECT_GT(t.imbalance, 0.0);  // something executed on some worker
+}
+
+TEST(WorkStealingPool, ParallelForPropagatesTheFirstException) {
+  sim::WorkStealingPool pool(2);
+  EXPECT_THROW(sim::parallel_for(pool, 8,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  pool.wait_idle();  // the pool must stay usable afterwards
+  std::atomic<int> hits{0};
+  sim::parallel_for(pool, 4, [&hits](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(WorkStealingPool, FifoPoolReportsInactiveTelemetry) {
+  sim::ThreadPool pool(2);
+  const sim::TaskPool::SchedTelemetry t = pool.sched_telemetry();
+  EXPECT_FALSE(t.active);
+  EXPECT_EQ(t.local_pops, 0u);
+  EXPECT_EQ(t.steals, 0u);
+}
+
+TEST(AppCostWeight, LuleshCarriesTheSkewAndUnknownsDegradeToUnit) {
+  for (const std::string& name : workloads::registry_names()) {
+    EXPECT_GT(workloads::app_cost_weight(name), 0.0) << name;
+    if (name != "Lulesh2.0") {
+      EXPECT_GT(workloads::app_cost_weight("Lulesh2.0"),
+                workloads::app_cost_weight(name))
+          << name;
+    }
+  }
+  EXPECT_DOUBLE_EQ(workloads::app_cost_weight("NoSuchApp"), 1.0);
+}
+
+// -------------------------------------------------------------- shard spec
+
+TEST(ShardSpec, FromEnvDefaultsToUnshardedAndParsesSlices) {
+  ASSERT_EQ(unsetenv(ShardSpec::kEnvVar), 0);
+  EXPECT_FALSE(ShardSpec::from_env().sharded());
+  EXPECT_EQ(ShardSpec::from_env().count, 1);
+  ASSERT_EQ(setenv(ShardSpec::kEnvVar, "", 1), 0);
+  EXPECT_FALSE(ShardSpec::from_env().sharded());
+  ASSERT_EQ(setenv(ShardSpec::kEnvVar, "1/4", 1), 0);
+  const ShardSpec s = ShardSpec::from_env();
+  EXPECT_TRUE(s.sharded());
+  EXPECT_EQ(s.index, 1);
+  EXPECT_EQ(s.count, 4);
+  ASSERT_EQ(setenv(ShardSpec::kEnvVar, "0/1", 1), 0);
+  EXPECT_FALSE(ShardSpec::from_env().sharded());  // explicit singleton
+  ASSERT_EQ(unsetenv(ShardSpec::kEnvVar), 0);
+}
+
+TEST(ShardSpec, FromEnvRejectsGarbage) {
+  for (const char* bad : {"2", "a/b", "3/2", "2/2", "-1/2", "0/5000", "1/0"}) {
+    ASSERT_EQ(setenv(ShardSpec::kEnvVar, bad, 1), 0);
+    EXPECT_EXIT((void)ShardSpec::from_env(), ::testing::ExitedWithCode(2),
+                "MKOS_SHARD")
+        << bad;
+  }
+  ASSERT_EQ(unsetenv(ShardSpec::kEnvVar), 0);
+}
+
+TEST(ShardSpec, SlicesPartitionTheGridExactly) {
+  // Without a store there is no stealing: shard i simulates exactly its
+  // keyspace slice and skips the rest — the union over shards is the full
+  // grid, pairwise disjoint.
+  CampaignSpec spec;
+  spec.apps = {"MiniFE", "HPCG"};
+  spec.configs = {SystemConfig::linux_default(), SystemConfig::mckernel()};
+  spec.nodes = {16, 32};
+  spec.reps = 1;
+  spec.seed = 11;
+
+  sim::ThreadPool pool(2);
+  std::set<std::size_t> owned;
+  for (int shard = 0; shard < 3; ++shard) {
+    CellCache cache;
+    Campaign campaign(pool, cache);
+    CampaignSpec sliced = spec;
+    sliced.shard = ShardSpec{shard, 3};
+    const auto cells = campaign.run(sliced);
+    ASSERT_EQ(cells.size(), 8u);
+    std::uint64_t skipped = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].skipped) {
+        EXPECT_EQ(cells[i].stats.fom.count(), 0u);
+        ++skipped;
+        continue;
+      }
+      EXPECT_TRUE(owned.insert(i).second) << "cell " << i << " simulated twice";
+    }
+    EXPECT_EQ(campaign.telemetry().foreign_skipped, skipped);
+  }
+  EXPECT_EQ(owned.size(), 8u);
 }
 
 // ------------------------------------------------------------ fingerprints
@@ -150,6 +281,65 @@ TEST(Campaign, SweepMediansBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(pooledN[i].min, serial[i].min);
     EXPECT_EQ(pooledN[i].max, serial[i].max);
   }
+}
+
+TEST(Campaign, WorkStealingChangesNoLedgerByte) {
+  // The tentpole determinism proof: the same grid through a serial pool, the
+  // shared-FIFO pool and the work-stealing pool (LPT placement + steals)
+  // must produce byte-identical reporting documents. Only the host-state
+  // campaign.sched.* block — deliberately NOT recorded here — may differ.
+  CampaignSpec spec;
+  spec.apps = {"MiniFE", "HPCG", "Lulesh2.0"};
+  spec.configs = {SystemConfig::linux_default(), SystemConfig::mckernel(),
+                  SystemConfig::mos()};
+  spec.nodes = {16, 32};
+  spec.reps = 2;
+  spec.seed = 21;
+
+  const auto run_grid = [&spec](sim::TaskPool& pool) {
+    CellCache cache;
+    Campaign campaign(pool, cache);
+    obs::RunLedger ledger;
+    for (const CellResult& cell : campaign.run(spec)) {
+      record_run_stats(ledger,
+                       cell.app + "." + cell.config_label + ".n" +
+                           std::to_string(cell.nodes),
+                       cell.stats);
+    }
+    return ledger.to_json();
+  };
+
+  sim::ThreadPool serial(1);
+  sim::ThreadPool fifo(4);
+  sim::WorkStealingPool stealing(4);
+  const std::string serial_json = run_grid(serial);
+  EXPECT_EQ(run_grid(fifo), serial_json);
+  EXPECT_EQ(run_grid(stealing), serial_json);
+}
+
+TEST(Campaign, SchedCountersAppearOnlyWhenACostAwarePoolRan) {
+  CampaignSpec spec;
+  spec.apps = {"MiniFE"};
+  spec.configs = {SystemConfig::mckernel()};
+  spec.nodes = {16};
+  spec.reps = 1;
+
+  const auto campaign_json = [&spec](sim::TaskPool& pool) {
+    CellCache cache;
+    Campaign campaign(pool, cache);
+    (void)campaign.run(spec);
+    obs::RunLedger ledger;
+    record_campaign(ledger, campaign.telemetry(), pool.size(), nullptr);
+    return ledger.to_json();
+  };
+
+  sim::ThreadPool fifo(2);
+  EXPECT_EQ(campaign_json(fifo).find("campaign.sched."), std::string::npos);
+  sim::WorkStealingPool stealing(2);
+  const std::string json = campaign_json(stealing);
+  EXPECT_NE(json.find("campaign.sched.local_pops"), std::string::npos);
+  EXPECT_NE(json.find("campaign.sched.steals"), std::string::npos);
+  EXPECT_NE(json.find("campaign.sched.imbalance"), std::string::npos);
 }
 
 // -------------------------------------------------------------- cell cache
