@@ -39,4 +39,5 @@ mkos_add_bench(event_queue)
 mkos_add_bench(perf_smoke)
 mkos_add_bench(sweep_sched)
 mkos_add_bench(resilience)
+mkos_add_bench(fig_numa_lookup)
 mkos_add_gbench(micro_substrates)

@@ -1,0 +1,204 @@
+#include "alloc/model.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::alloc {
+
+using sim::KiB;
+using sim::MiB;
+
+PersonalityParams params_for(kernel::OsKind os, const AllocSpec& spec) {
+  PersonalityParams p;
+  p.magazines.max_rounds = std::max(spec.magazine_cap, p.magazines.min_rounds);
+  switch (os) {
+    case kernel::OsKind::kLinux:
+      // Buddy/SLUB-like: 4 KiB pages, per-2 MiB section imports, small slab
+      // spans, fine-grained locks that *do* bounce under concurrency, and a
+      // reclaim daemon that keeps eating the depot.
+      p.vmem_quantum = 4 * KiB;
+      p.import_quantum = 2 * MiB;
+      p.slab_span = 64 * KiB;
+      p.cpu_hit = sim::TimeNs{12};
+      p.depot_lock = sim::TimeNs{60};
+      p.zone_lock = sim::TimeNs{220};
+      p.segment_op = sim::TimeNs{90};
+      p.import_cpu = sim::TimeNs{600};
+      p.lock_contention = 0.35;
+      p.reclaim_daemon = spec.linux_reclaim_daemon;
+      break;
+    case kernel::OsKind::kMcKernel:
+      // IHK hands McKernel big chunks up front; allocation is large-quantum
+      // carving with almost no cross-CPU lock traffic and no reclaim.
+      p.vmem_quantum = 2 * MiB;
+      p.import_quantum = 64 * MiB;
+      p.slab_span = 2 * MiB;
+      p.cpu_hit = sim::TimeNs{10};
+      p.depot_lock = sim::TimeNs{40};
+      p.zone_lock = sim::TimeNs{90};
+      p.segment_op = sim::TimeNs{50};
+      p.import_cpu = sim::TimeNs{350};
+      p.lock_contention = 0.03;
+      p.reclaim_daemon = false;
+      break;
+    case kernel::OsKind::kMos:
+      // mOS reserved contiguous physical memory at boot — even cheaper
+      // segment paths and the least lock contention of the three.
+      p.vmem_quantum = 2 * MiB;
+      p.import_quantum = 128 * MiB;
+      p.slab_span = 2 * MiB;
+      p.cpu_hit = sim::TimeNs{10};
+      p.depot_lock = sim::TimeNs{40};
+      p.zone_lock = sim::TimeNs{80};
+      p.segment_op = sim::TimeNs{45};
+      p.import_cpu = sim::TimeNs{300};
+      p.lock_contention = 0.02;
+      p.reclaim_daemon = false;
+      break;
+    case kernel::OsKind::kFusedOs:
+      // CL partitions own their memory outright; mOS-like costs.
+      p.vmem_quantum = 2 * MiB;
+      p.import_quantum = 128 * MiB;
+      p.slab_span = 2 * MiB;
+      p.cpu_hit = sim::TimeNs{10};
+      p.depot_lock = sim::TimeNs{42};
+      p.zone_lock = sim::TimeNs{85};
+      p.segment_op = sim::TimeNs{48};
+      p.import_cpu = sim::TimeNs{320};
+      p.lock_contention = 0.025;
+      p.reclaim_daemon = false;
+      break;
+  }
+  return p;
+}
+
+NodeAllocModel::NodeAllocModel(const hw::NodeTopology& topo,
+                               mem::PhysMemory& phys, kernel::OsKind os,
+                               const AllocSpec& spec, int lanes)
+    : phys_(&phys),
+      spec_(spec),
+      params_(params_for(os, spec)),
+      lanes_(lanes),
+      import_order_(topo.domains_of_kind(hw::MemKind::kDdr4)),
+      lane_refill_bytes_(static_cast<std::size_t>(lanes), 0) {
+  MKOS_EXPECTS(lanes_ > 0);
+  MKOS_EXPECTS(!import_order_.empty());
+  for (hw::DomainId d : import_order_) {
+    phys_->domain(d).set_traffic_hook(
+        [this](int caller, sim::Bytes length) {
+          if (caller < 0) return;  // not an allocator-model import
+          refill_bytes_ += length;
+          lane_refill_bytes_[static_cast<std::size_t>(caller)] += length;
+        });
+  }
+  arena_ = std::make_unique<VmemArena>(
+      std::string("kmem"), params_.vmem_quantum, params_.import_quantum,
+      [this](sim::Bytes want) -> sim::Bytes {
+        sim::Bytes granted = 0;
+        for (hw::DomainId d : import_order_) {
+          auto& dom = phys_->domain(d);
+          dom.set_traffic_caller(import_lane_);
+          const auto& extents =
+              dom.alloc_best_effort(want - granted, params_.vmem_quantum);
+          dom.set_traffic_caller(-1);
+          for (const auto& e : extents) granted += e.length;
+          if (granted >= want) break;
+        }
+        return granted;
+      },
+      params_.segment_op, params_.import_cpu);
+}
+
+NodeAllocModel::~NodeAllocModel() {
+  // The hook lambda captures `this`; never leave it dangling on the node.
+  for (hw::DomainId d : import_order_) {
+    phys_->domain(d).set_traffic_hook(nullptr);
+    phys_->domain(d).set_traffic_caller(-1);
+  }
+}
+
+sim::TimeNs NodeAllocModel::churn(int lane, std::uint64_t pairs,
+                                  sim::Bytes obj_bytes) {
+  MKOS_EXPECTS(lane >= 0 && lane < lanes_);
+  SlabCache& cache = cache_for(obj_bytes);
+  import_lane_ = lane;  // attribute any refill cascade this burst triggers
+  const sim::TimeNs cost = cache.churn(lane, pairs, lanes_,
+                                       spec_.contention_scale,
+                                       spec_.churn_cost_scale);
+  import_lane_ = -1;
+  if (params_.reclaim_daemon) maybe_reclaim(cache);
+  return cost;
+}
+
+void NodeAllocModel::drain_lanes() {
+  for (auto& cache : caches_) {
+    for (int lane = 0; lane < lanes_; ++lane) cache->drain(lane);
+  }
+}
+
+AllocCounters NodeAllocModel::counters() const {
+  AllocCounters out;
+  for (const auto& cache : caches_) {
+    const SlabCache::Stats& s = cache->stats();
+    out.magazine_hits += s.magazine_hits;
+    out.magazine_misses += s.magazine_misses;
+    out.depot_loads += s.depot_loads;
+    out.depot_unloads += s.depot_unloads;
+    out.depot_lock_ns += s.depot_lock_ns;
+    out.zone_lock_ns += s.zone_lock_ns;
+    out.slab_creates += s.slab_creates;
+    out.slab_frees += s.slab_frees;
+    out.resizes_up += s.resizes_up;
+    out.resizes_down += s.resizes_down;
+  }
+  const VmemStats& v = arena_->stats();
+  out.vmem_allocs = v.allocs;
+  out.vmem_frees = v.frees;
+  out.vmem_qcache_hits = v.qcache_hits;
+  out.vmem_imports = v.imports;
+  out.vmem_import_bytes = v.import_bytes;
+  out.vmem_import_fails = v.import_fails;
+  out.refill_bytes = refill_bytes_;
+  out.reclaims = reclaims_;
+  out.reclaimed_slabs = reclaimed_slabs_;
+  return out;
+}
+
+sim::Bytes NodeAllocModel::lane_refill_bytes(int lane) const {
+  MKOS_EXPECTS(lane >= 0 && lane < lanes_);
+  return lane_refill_bytes_[static_cast<std::size_t>(lane)];
+}
+
+SlabCache& NodeAllocModel::cache_for(sim::Bytes obj_bytes) {
+  const auto it = std::lower_bound(
+      caches_.begin(), caches_.end(), obj_bytes,
+      [](const std::unique_ptr<SlabCache>& c, sim::Bytes sz) {
+        return c->obj_bytes() < sz;
+      });
+  if (it != caches_.end() && (*it)->obj_bytes() == obj_bytes) return **it;
+  SlabCosts costs{params_.cpu_hit, params_.depot_lock, params_.zone_lock,
+                  params_.lock_contention};
+  auto cache = std::make_unique<SlabCache>(
+      arena_.get(), obj_bytes, std::max(params_.slab_span, obj_bytes), costs,
+      params_.magazines, lanes_);
+  return **caches_.insert(it, std::move(cache));
+}
+
+void NodeAllocModel::maybe_reclaim(SlabCache& cache) {
+  // kreclaimd policy: once the depot holds more than kReclaimThresholdMags
+  // full (max-size) magazines, trim it back to half the threshold. The trim
+  // frees whole slabs to the arena, so the next burst rebuilds them under
+  // the zone lock — Linux pays twice for churny allocation patterns.
+  const std::uint64_t threshold =
+      kReclaimThresholdMags *
+      static_cast<std::uint64_t>(params_.magazines.max_rounds);
+  if (cache.depot_rounds() <= threshold) return;
+  const SlabCache::ReclaimResult r =
+      cache.reclaim(cache.depot_rounds() - threshold / 2);
+  ++reclaims_;
+  reclaimed_slabs_ += r.freed_slabs;
+}
+
+}  // namespace mkos::alloc

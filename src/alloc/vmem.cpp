@@ -1,0 +1,144 @@
+#include "alloc/vmem.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/contracts.hpp"
+
+namespace mkos::alloc {
+
+VmemArena::VmemArena(std::string name, sim::Bytes quantum,
+                     sim::Bytes import_quantum, ImportFn import,
+                     sim::TimeNs segment_op_cost, sim::TimeNs import_cost)
+    : name_(std::move(name)),
+      quantum_(quantum),
+      import_quantum_(import_quantum),
+      import_(std::move(import)),
+      segment_op_cost_(segment_op_cost),
+      import_cost_(import_cost) {
+  MKOS_EXPECTS(quantum_ > 0);
+  MKOS_EXPECTS(import_quantum_ >= quantum_);
+}
+
+VmemAlloc VmemArena::alloc(sim::Bytes bytes) {
+  MKOS_EXPECTS(bytes > 0);
+  const sim::Bytes size = sim::align_up(bytes, quantum_);
+  VmemAlloc out;
+
+  // Quantum-cache front end: constant-time pop, no segment-list traffic.
+  const sim::Bytes quanta = size / quantum_;
+  const bool cacheable = quanta >= 1 && quanta <= kQuantumCacheClasses;
+  if (cacheable) {
+    auto& cache = quantum_caches_[quanta - 1];
+    if (!cache.empty()) {
+      out.ok = true;
+      out.offset = cache.back();
+      cache.pop_back();
+      out.cost = segment_op_cost_;  // cache hit: one cheap op, no list walk
+      ++stats_.allocs;
+      ++stats_.qcache_hits;
+      return out;
+    }
+  }
+
+  // Segment path: first-fit over the sorted free list, importing on demand.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (std::size_t i = 0; i < free_segments_.size(); ++i) {
+      Segment& seg = free_segments_[i];
+      if (seg.length < size) continue;
+      out.ok = true;
+      out.offset = seg.offset;
+      out.cost = out.cost + segment_op_cost_;
+      if (seg.length == size) {
+        free_segments_.erase(free_segments_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      } else {
+        seg.offset += size;
+        seg.length -= size;
+      }
+      ++stats_.allocs;
+      return out;
+    }
+    if (attempt == 0) {
+      out.cost = out.cost + import_cost_;
+      if (!import_more(size)) {
+        ++stats_.import_fails;
+        return out;  // ok == false: arena and source both exhausted
+      }
+    }
+  }
+  return out;
+}
+
+sim::TimeNs VmemArena::free(sim::Bytes offset, sim::Bytes bytes) {
+  MKOS_EXPECTS(bytes > 0);
+  const sim::Bytes size = sim::align_up(bytes, quantum_);
+  MKOS_EXPECTS(offset + size <= span_end_);
+  ++stats_.frees;
+
+  const sim::Bytes quanta = size / quantum_;
+  if (quanta >= 1 && quanta <= kQuantumCacheClasses) {
+    quantum_caches_[quanta - 1].push_back(offset);
+    return segment_op_cost_;
+  }
+  insert_free(offset, size);
+  return segment_op_cost_;
+}
+
+bool VmemArena::import_more(sim::Bytes want) {
+  const sim::Bytes ask =
+      sim::align_up(std::max(want, import_quantum_), import_quantum_);
+  if (!import_) return false;
+  const sim::Bytes granted = import_(ask);
+  if (granted < want) {
+    // A short grant can't satisfy the triggering request; don't grow the
+    // span with an unusable stub (keeps exhaustion behavior crisp).
+    return false;
+  }
+  ++stats_.imports;
+  stats_.import_bytes += granted;
+  insert_free(span_end_, granted);
+  span_end_ += granted;
+  return true;
+}
+
+void VmemArena::insert_free(sim::Bytes offset, sim::Bytes length) {
+  // Sorted insert + bidirectional coalescing.
+  auto it = std::lower_bound(
+      free_segments_.begin(), free_segments_.end(), offset,
+      [](const Segment& s, sim::Bytes off) { return s.offset < off; });
+  const std::size_t idx =
+      static_cast<std::size_t>(it - free_segments_.begin());
+
+  // Merge with predecessor?
+  if (idx > 0) {
+    Segment& prev = free_segments_[idx - 1];
+    MKOS_ASSERT(prev.offset + prev.length <= offset);
+    if (prev.offset + prev.length == offset) {
+      prev.length += length;
+      // Merge predecessor with successor too?
+      if (idx < free_segments_.size()) {
+        Segment& next = free_segments_[idx];
+        if (prev.offset + prev.length == next.offset) {
+          prev.length += next.length;
+          free_segments_.erase(free_segments_.begin() +
+                               static_cast<std::ptrdiff_t>(idx));
+        }
+      }
+      return;
+    }
+  }
+  // Merge with successor?
+  if (idx < free_segments_.size()) {
+    Segment& next = free_segments_[idx];
+    MKOS_ASSERT(offset + length <= next.offset);
+    if (offset + length == next.offset) {
+      next.offset = offset;
+      next.length += length;
+      return;
+    }
+  }
+  free_segments_.insert(it, Segment{offset, length});
+}
+
+}  // namespace mkos::alloc

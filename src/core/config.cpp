@@ -55,6 +55,8 @@ std::uint64_t SystemConfig::fingerprint() const {
   // an inert spec must keep every pre-existing fingerprint (cache keys,
   // ledger meta) exactly as it was before the fault subsystem existed.
   if (resilience.enabled()) mix(resilience.fingerprint());
+  // Same contract for the allocator model: inert means invisible.
+  if (alloc.enabled()) mix(alloc.fingerprint());
   return h;
 }
 
@@ -81,6 +83,15 @@ std::string SystemConfig::digest() const {
   } else {
     out += " res=off";
   }
+  // The allocator spec appends a token ONLY when enabled — unlike the
+  // " res=off" above (already baked into every stored digest), an
+  // unconditional " alloc=off" would invalidate every pre-existing cell.
+  if (alloc.enabled()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " alloc=%016llx",
+                  static_cast<unsigned long long>(alloc.fingerprint()));
+    out += buf;
+  }
   return out;
 }
 
@@ -104,6 +115,10 @@ kernel::NodeOsConfig SystemConfig::node_config() const {
   nc.mos_opts.prefer_mcdram = lwk_prefer_mcdram;
   nc.mos_opts.partition_mcdram_per_rank = mos_partition_mcdram;
   nc.linux_opts.co_tenant = co_tenant && os == kernel::OsKind::kLinux;
+  if (alloc.enabled() && alloc.linux_reclaim_daemon &&
+      os == kernel::OsKind::kLinux) {
+    nc.linux_opts.alloc_reclaim_rate_hz = alloc.reclaim_rate_hz;
+  }
   nc.mckernel_opts.co_tenant_on_linux = co_tenant;
   nc.mos_opts.co_tenant_on_linux = co_tenant;
   return nc;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "alloc/spec.hpp"
 #include "fault/fault.hpp"
 #include "hw/cluster.hpp"
 #include "kernel/node.hpp"
@@ -48,6 +49,11 @@ struct SystemConfig {
   /// into fingerprint() only when enabled(), so pre-existing configs keep
   /// their cache keys and ledger meta entries.
   fault::Spec resilience;
+
+  /// Kernel-allocator scalability model (inert by default: allocation stays
+  /// free). Folded into fingerprint()/digest() only when enabled(), exactly
+  /// like `resilience`, so pre-existing cells and cache keys survive.
+  alloc::AllocSpec alloc;
 
   [[nodiscard]] static SystemConfig linux_default();
   [[nodiscard]] static SystemConfig mckernel();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "alloc/model.hpp"
 #include "obs/snapshots.hpp"
 #include "runtime/resilience.hpp"
 #include "sim/contracts.hpp"
@@ -46,15 +47,26 @@ RepOutcome run_once(workloads::App& app, const SystemConfig& config, int nodes,
     resil->install_memory_faults();
   }
   app.setup(job);
+  // Allocator model after setup (its vmem imports must not race placement's
+  // carving for the same DDR4 extents) and before the world attaches to it.
+  // Draws no randomness: churn costs are a pure function of allocator state.
+  std::optional<alloc::NodeAllocModel> alloc_model;
+  if (config.alloc.enabled()) {
+    alloc_model.emplace(job.node().topo(), job.node().phys(), config.os,
+                        config.alloc, job.lane_count());
+  }
   runtime::MpiWorld world(job, rep_seed(cell_fp, rep, /*stream=*/1));
   if (resil) world.attach_resilience(&*resil);
+  if (alloc_model) world.attach_alloc(&*alloc_model);
   RepOutcome out;
   out.result = app.run(job, world);
+  if (alloc_model) alloc_model->drain_lanes();
   // Snapshot after the run so heap/kernel/world counters reflect the whole
   // repetition; per-rep ledgers are merged positionally by the callers.
   obs::record_world(out.ledger, world);
   obs::record_job(out.ledger, job);
   if (resil) obs::record_faults(out.ledger, resil->counters());
+  if (alloc_model) obs::record_alloc(out.ledger, alloc_model->counters());
   out.ledger.observe("run.fom", out.result.fom);
   return out;
 }

@@ -15,6 +15,13 @@ LinuxKernel::LinuxKernel(const hw::NodeTopology& topo, mem::PhysMemory& phys,
       sched_(SchedulerModel::linux_cfs()),
       fs_(pseudofs_linux()) {
   // Defaults in MemCostModel are Linux-on-KNL numbers already.
+  if (options.alloc_reclaim_rate_hz > 0.0) {
+    // The allocator model's depot-trim daemon: short kswapd-like detours on
+    // the application cores, exponential around ~12 us per pass.
+    noise_.add(NoiseComponent{"kreclaimd", options.alloc_reclaim_rate_hz,
+                              sim::microseconds(12.0),
+                              NoiseComponent::Dist::kExponential});
+  }
 }
 
 Disposition LinuxKernel::disposition(Sys s) const {

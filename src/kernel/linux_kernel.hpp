@@ -19,6 +19,10 @@ struct LinuxOptions {
   /// A co-located tenant (analytics/monitoring) runs on the same node —
   /// on Linux-only nodes it shares the application cores.
   bool co_tenant = false;
+  /// > 0: the allocator model's reclaim daemon (kreclaimd) is active and its
+  /// periodic depot-trim passes steal application-core time as an extra
+  /// noise component at this rate. 0 (the default) adds nothing.
+  double alloc_reclaim_rate_hz = 0.0;
 };
 
 class LinuxKernel final : public Kernel {

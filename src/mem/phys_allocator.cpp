@@ -77,6 +77,7 @@ const std::vector<Extent>& DomainAllocator::alloc_best_effort(sim::Bytes length,
   MKOS_EXPECTS(granule > 0 && (granule & (granule - 1)) == 0);
   std::vector<Extent>& out = best_effort_scratch_;
   out.clear();
+  if (traffic_hook_) traffic_hook_(traffic_caller_, length);
   // One injection decision per request, not per carved extent: the internal
   // loop below allocates pieces it has already sized against the free map,
   // so a mid-loop denial would trip the has_value() invariant.

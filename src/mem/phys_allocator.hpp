@@ -62,6 +62,21 @@ class DomainAllocator {
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
   [[nodiscard]] bool has_fault_hook() const { return fault_hook_ != nullptr; }
 
+  /// Contention-visibility hook, fired once at the top of every
+  /// alloc_best_effort call with the current caller id (see
+  /// set_traffic_caller) and the requested length. The allocator model uses
+  /// it to attribute kernel-heap refill traffic per lane; nullptr (the
+  /// default) costs nothing on the allocation path.
+  using TrafficHook = std::function<void(int caller, sim::Bytes length)>;
+  void set_traffic_hook(TrafficHook hook) { traffic_hook_ = std::move(hook); }
+  [[nodiscard]] bool has_traffic_hook() const { return traffic_hook_ != nullptr; }
+
+  /// Tag subsequent allocations with a caller id (e.g. a lane index) for the
+  /// TrafficHook; -1 (the default) means "unattributed" and hook consumers
+  /// typically ignore it.
+  void set_traffic_caller(int id) { traffic_caller_ = id; }
+  [[nodiscard]] int traffic_caller() const { return traffic_caller_; }
+
   /// Return an extent previously handed out.
   void free(const Extent& e);
 
@@ -111,6 +126,8 @@ class DomainAllocator {
   std::vector<FreeExtent> free_;
   std::vector<Extent> best_effort_scratch_;
   FaultHook fault_hook_;
+  TrafficHook traffic_hook_;
+  int traffic_caller_ = -1;
   std::uint64_t rev_ = 1;  // bumped by every free-map mutation
   mutable std::uint64_t fp_rev_ = 0;
   mutable std::uint64_t fp_cache_ = 0;

@@ -25,6 +25,20 @@ sim::TimeNs pte_cost(const MemCostModel& cost, sim::Bytes bytes, PageSize page) 
   return cost.pte_per_page * static_cast<std::int64_t>(pages_for(bytes, page));
 }
 
+/// Per-domain byte share of an INTERLEAVE request: the round-robin page
+/// stripe collapses to an even split of the range across the listed domains
+/// (page granularity rounding aside). 0 for every other mode.
+sim::Bytes interleave_share(const MemPolicy& policy, sim::Bytes total) {
+  if (policy.mode != PolicyMode::kInterleave || policy.domains.empty()) return 0;
+  const auto n = static_cast<sim::Bytes>(policy.domains.size());
+  return sim::align_up(std::max<sim::Bytes>(total / n, 4 * sim::KiB), 4 * sim::KiB);
+}
+
+bool in_policy_domains(const MemPolicy& policy, hw::DomainId d) {
+  return std::find(policy.domains.begin(), policy.domains.end(), d) !=
+         policy.domains.end();
+}
+
 }  // namespace
 
 const std::vector<hw::DomainId>& lwk_domain_order(const hw::NodeTopology& topo,
@@ -79,39 +93,51 @@ PlaceResult place_lwk(PhysMemory& phys, const hw::NodeTopology& topo,
                                      ? req.mcdram_quota - req.mcdram_quota_used
                                      : 0);
 
-  for (hw::DomainId d : order) {
-    if (remaining == 0) break;
-    auto& alloc = phys.domain(d);
-    const bool is_mcdram = topo.domain(d).kind == hw::MemKind::kMcdram;
+  // INTERLEAVE stripes pages round-robin over the policy domains; at mmap
+  // granularity that collapses to an even per-domain share. Pass 0 honors the
+  // shares; pass 1 places whatever exhausted domains rejected via the normal
+  // fallback walk (matching Linux, which skips full domains in the stripe).
+  const sim::Bytes stripe_share = interleave_share(req.policy, remaining);
+  const int passes = stripe_share > 0 ? 2 : 1;
+  for (int pass = 0; pass < passes && remaining > 0; ++pass) {
+    for (hw::DomainId d : order) {
+      if (remaining == 0) break;
+      auto& alloc = phys.domain(d);
+      const bool is_mcdram = topo.domain(d).kind == hw::MemKind::kMcdram;
 
-    sim::Bytes want = remaining;
-    if (is_mcdram && quota_left != PlaceRequest::kNoQuota) {
-      want = std::min(want, quota_left);
-      if (want == 0) continue;
-    }
+      sim::Bytes want = remaining;
+      if (pass == 0 && stripe_share > 0 && in_policy_domains(req.policy, d)) {
+        want = std::min(want, stripe_share);
+      }
+      if (is_mcdram && quota_left != PlaceRequest::kNoQuota) {
+        want = std::min(want, quota_left);
+        if (want == 0) continue;
+      }
 
-    // Try progressively smaller page granules within this domain.
-    for (PageSize page : {PageSize::k1G, PageSize::k2M, PageSize::k4K}) {
-      if (want == 0) break;
-      const PageSize usable = best_page(want, alloc.largest_free_extent(), req.use_large_pages);
-      // Skip granules larger than what the request/extents support.
-      if (page_bytes(page) > page_bytes(usable)) continue;
-      const sim::Bytes granule = page_bytes(page);
-      const sim::Bytes ask = sim::align_down(want, granule);
-      if (ask == 0) continue;
-      const auto& extents = alloc.alloc_best_effort(ask, granule);
-      for (const auto& e : extents) {
-        res.extents.push_back(e);
-        res.placement.add(d, page, e.length);
-        res.map_cost += pte_cost(cost, e.length, page);
-        // LWKs hand out pre-zeroed memory at map time so no fault ever hits
-        // the application; the zeroing bill is paid here, once.
-        res.map_cost += cost.zero_cost(e.length);
-        remaining -= e.length;
-        want -= e.length;
-        if (is_mcdram) {
-          res.mcdram_taken += e.length;
-          if (quota_left != PlaceRequest::kNoQuota) quota_left -= e.length;
+      // Try progressively smaller page granules within this domain.
+      for (PageSize page : {PageSize::k1G, PageSize::k2M, PageSize::k4K}) {
+        if (want == 0) break;
+        const PageSize usable =
+            best_page(want, alloc.largest_free_extent(), req.use_large_pages);
+        // Skip granules larger than what the request/extents support.
+        if (page_bytes(page) > page_bytes(usable)) continue;
+        const sim::Bytes granule = page_bytes(page);
+        const sim::Bytes ask = sim::align_down(want, granule);
+        if (ask == 0) continue;
+        const auto& extents = alloc.alloc_best_effort(ask, granule);
+        for (const auto& e : extents) {
+          res.extents.push_back(e);
+          res.placement.add(d, page, e.length);
+          res.map_cost += pte_cost(cost, e.length, page);
+          // LWKs hand out pre-zeroed memory at map time so no fault ever hits
+          // the application; the zeroing bill is paid here, once.
+          res.map_cost += cost.zero_cost(e.length);
+          remaining -= e.length;
+          want -= e.length;
+          if (is_mcdram) {
+            res.mcdram_taken += e.length;
+            if (quota_left != PlaceRequest::kNoQuota) quota_left -= e.length;
+          }
         }
       }
     }
@@ -163,48 +189,61 @@ TouchResult touch(PhysMemory& phys, const hw::NodeTopology& topo, const MemCostM
                           : linux_domain_order(topo, vma.policy, home_quadrant);
   const double contention = cost.contention(concurrent_faulters);
 
-  for (hw::DomainId d : order) {
-    if (remaining == 0) break;
-    auto& alloc = phys.domain(d);
-    if (vma.policy.mode == PolicyMode::kBind &&
-        std::find(vma.policy.domains.begin(), vma.policy.domains.end(), d) ==
-            vma.policy.domains.end()) {
-      continue;
-    }
-    // Fault granule: the VMA's granule when extents allow, else 4K. THP is
-    // opportunistic on Linux — khugepaged only collapses part of an anon
-    // range into huge pages (alignment holes, partial ranges, scan lag) —
-    // while the LWK fallback path always fills whole 2 MiB granules.
-    sim::Bytes thp_budget =
-        vma.touch_lwk_order
-            ? remaining
-            : sim::align_down(
-                  static_cast<sim::Bytes>(static_cast<double>(remaining) * kThpCoverage),
-                  page_bytes(PageSize::k2M));
-    while (remaining > 0) {
-      PageSize page = vma.touch_page;
-      if (page == PageSize::k2M && thp_budget == 0) page = PageSize::k4K;
-      if (page_bytes(page) > remaining || alloc.largest_free_extent() < page_bytes(page)) {
-        page = PageSize::k4K;
+  // INTERLEAVE faults land round-robin over the policy domains; per touch
+  // slice that is an even per-domain share (pass 0), with anything an
+  // exhausted domain rejected spilling down the walk order (pass 1).
+  const sim::Bytes stripe_share =
+      vma.touch_lwk_order ? 0 : interleave_share(vma.policy, remaining);
+  const int passes = stripe_share > 0 ? 2 : 1;
+  for (int pass = 0; pass < passes && remaining > 0; ++pass) {
+    for (hw::DomainId d : order) {
+      if (remaining == 0) break;
+      auto& alloc = phys.domain(d);
+      if (vma.policy.mode == PolicyMode::kBind &&
+          std::find(vma.policy.domains.begin(), vma.policy.domains.end(), d) ==
+              vma.policy.domains.end()) {
+        continue;
       }
-      const sim::Bytes granule = page_bytes(page);
-      sim::Bytes ask =
-          sim::align_up(std::min(remaining, sim::Bytes{64} * sim::MiB), granule);
-      if (page == PageSize::k2M) ask = std::min(ask, thp_budget);
-      const auto& extents = alloc.alloc_best_effort(ask, granule);
-      if (extents.empty()) break;  // domain exhausted; next in fallback order
-      for (const auto& e : extents) {
-        vma.extents.push_back(e);
-        vma.placement.add(d, page, e.length);
-        const std::uint64_t n = pages_for(e.length, page);
-        res.faults += n;
-        const sim::TimeNs handler = page == PageSize::k4K ? cost.fault_4k : cost.fault_large;
-        res.cost += (handler * static_cast<std::int64_t>(n)).scaled(contention);
-        // Linux zeroes each page inside the fault (write to the CoW zero page).
-        res.cost += cost.zero_cost(e.length);
-        res.newly_backed += e.length;
-        remaining -= std::min(remaining, e.length);
-        if (page == PageSize::k2M) thp_budget -= std::min(thp_budget, e.length);
+      sim::Bytes budget = remaining;
+      if (pass == 0 && stripe_share > 0 && in_policy_domains(vma.policy, d)) {
+        budget = std::min(budget, stripe_share);
+      }
+      // Fault granule: the VMA's granule when extents allow, else 4K. THP is
+      // opportunistic on Linux — khugepaged only collapses part of an anon
+      // range into huge pages (alignment holes, partial ranges, scan lag) —
+      // while the LWK fallback path always fills whole 2 MiB granules.
+      sim::Bytes thp_budget =
+          vma.touch_lwk_order
+              ? remaining
+              : sim::align_down(
+                    static_cast<sim::Bytes>(static_cast<double>(remaining) * kThpCoverage),
+                    page_bytes(PageSize::k2M));
+      while (remaining > 0 && budget > 0) {
+        PageSize page = vma.touch_page;
+        if (page == PageSize::k2M && thp_budget == 0) page = PageSize::k4K;
+        if (page_bytes(page) > remaining || alloc.largest_free_extent() < page_bytes(page)) {
+          page = PageSize::k4K;
+        }
+        const sim::Bytes granule = page_bytes(page);
+        sim::Bytes ask = sim::align_up(
+            std::min({remaining, budget, sim::Bytes{64} * sim::MiB}), granule);
+        if (page == PageSize::k2M) ask = std::min(ask, thp_budget);
+        const auto& extents = alloc.alloc_best_effort(ask, granule);
+        if (extents.empty()) break;  // domain exhausted; next in fallback order
+        for (const auto& e : extents) {
+          vma.extents.push_back(e);
+          vma.placement.add(d, page, e.length);
+          const std::uint64_t n = pages_for(e.length, page);
+          res.faults += n;
+          const sim::TimeNs handler = page == PageSize::k4K ? cost.fault_4k : cost.fault_large;
+          res.cost += (handler * static_cast<std::int64_t>(n)).scaled(contention);
+          // Linux zeroes each page inside the fault (write to the CoW zero page).
+          res.cost += cost.zero_cost(e.length);
+          res.newly_backed += e.length;
+          remaining -= std::min(remaining, e.length);
+          budget -= std::min(budget, e.length);
+          if (page == PageSize::k2M) thp_budget -= std::min(thp_budget, e.length);
+        }
       }
     }
   }

@@ -1,5 +1,6 @@
 #include "obs/snapshots.hpp"
 
+#include "alloc/model.hpp"
 #include "fault/fault.hpp"
 #include "kernel/kernel.hpp"
 #include "mem/address_space.hpp"
@@ -150,6 +151,28 @@ void record_faults(RunLedger& ledger, const fault::Counters& c) {
   ledger.incr("fault.backoff_wait_ns", c.backoff_wait_ns);
   ledger.incr("fault.redistributed_ns", c.redistributed_ns);
   ledger.incr("fault.wait_ns", c.wait_ns);
+}
+
+void record_alloc(RunLedger& ledger, const alloc::AllocCounters& c) {
+  ledger.incr("alloc.magazine_hits", c.magazine_hits);
+  ledger.incr("alloc.magazine_misses", c.magazine_misses);
+  ledger.incr("alloc.depot_loads", c.depot_loads);
+  ledger.incr("alloc.depot_unloads", c.depot_unloads);
+  ledger.incr("alloc.depot_lock_ns", c.depot_lock_ns);
+  ledger.incr("alloc.zone_lock_ns", c.zone_lock_ns);
+  ledger.incr("alloc.slab_creates", c.slab_creates);
+  ledger.incr("alloc.slab_frees", c.slab_frees);
+  ledger.incr("alloc.resizes_up", c.resizes_up);
+  ledger.incr("alloc.resizes_down", c.resizes_down);
+  ledger.incr("alloc.vmem_allocs", c.vmem_allocs);
+  ledger.incr("alloc.vmem_frees", c.vmem_frees);
+  ledger.incr("alloc.vmem_qcache_hits", c.vmem_qcache_hits);
+  ledger.incr("alloc.vmem_imports", c.vmem_imports);
+  ledger.incr("alloc.vmem_import_bytes", c.vmem_import_bytes);
+  ledger.incr("alloc.vmem_import_fails", c.vmem_import_fails);
+  ledger.incr("alloc.refill_bytes", c.refill_bytes);
+  ledger.incr("alloc.reclaims", c.reclaims);
+  ledger.incr("alloc.reclaimed_slabs", c.reclaimed_slabs);
 }
 
 }  // namespace mkos::obs

@@ -34,6 +34,10 @@ namespace mkos::fault {
 struct Counters;
 }  // namespace mkos::fault
 
+namespace mkos::alloc {
+struct AllocCounters;
+}  // namespace mkos::alloc
+
 namespace mkos::obs {
 
 /// heap.* counters: brk traffic, faults, zeroing work.
@@ -63,5 +67,10 @@ void record_job(RunLedger& ledger, runtime::Job& job);
 /// absorbed for faults, recovery and checkpoint cadence. Only called when a
 /// resilience spec is enabled — fault-free ledgers carry no fault section.
 void record_faults(RunLedger& ledger, const fault::Counters& c);
+
+/// alloc.* counters: magazine/depot/slab traffic, vmem activity and refill
+/// bytes of the kernel-allocator model. Only called when an AllocSpec is
+/// enabled — model-free ledgers carry no alloc section.
+void record_alloc(RunLedger& ledger, const alloc::AllocCounters& c);
 
 }  // namespace mkos::obs

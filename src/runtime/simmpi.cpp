@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "alloc/model.hpp"
 #include "runtime/resilience.hpp"
 #include "sim/contracts.hpp"
 
@@ -156,6 +157,22 @@ void MpiWorld::sched_yields(int count_per_rank) {
 
 void MpiWorld::syscall(kernel::Sys s, int count_per_rank, sim::Bytes payload) {
   pending_uniform_ += job_.kernel().priced(s, payload) * count_per_rank;
+}
+
+void MpiWorld::alloc_churn(std::uint64_t pairs_per_rank, sim::Bytes obj_bytes) {
+  if (alloc_model_ == nullptr || pairs_per_rank == 0) return;
+  const int lanes = job_.lane_count();
+  if (lanes == 0) return;
+  // Lane costs diverge (whoever churns first eats the refill cascade; later
+  // lanes hit the warmed depot), so this always lands in the per-lane
+  // pending array, never in pending_uniform_.
+  lane_pending_dirty_ = true;
+  for (int i = 0; i < lanes; ++i) {
+    const sim::TimeNs cost =
+        alloc_model_->churn(i, pairs_per_rank, obj_bytes);
+    lanes_.pending_ns[static_cast<std::size_t>(i)] += cost.ns();
+    alloc_wait_ += cost;
+  }
 }
 
 const MpiWorld::HeapCycleMemo* MpiWorld::find_heap_memo(

@@ -28,6 +28,10 @@
 #include "runtime/shm.hpp"
 #include "sim/thread_safety.hpp"
 
+namespace mkos::alloc {
+class NodeAllocModel;
+}
+
 namespace mkos::runtime {
 
 class ResilienceManager;
@@ -55,6 +59,14 @@ class MKOS_THREAD_CONFINED("one campaign cell task") MpiWorld {
   /// Total extra time charged by the attached manager so far.
   [[nodiscard]] sim::TimeNs total_fault_wait() const { return fault_wait_; }
 
+  /// Attach a kernel-allocator model: alloc_churn() then prices magazine
+  /// and depot traffic through it. nullptr (the default) detaches —
+  /// alloc_churn becomes a no-op, keeping model-free runs bit-identical to
+  /// pre-subsystem builds.
+  void attach_alloc(alloc::NodeAllocModel* model) { alloc_model_ = model; }
+  /// Total allocator time charged across all lanes so far.
+  [[nodiscard]] sim::TimeNs total_alloc_wait() const { return alloc_wait_; }
+
   // ------------------------------------------------- per-rank pending work
   /// Memory-bandwidth-bound work: every rank streams `bytes` through its
   /// placement-weighted effective bandwidth.
@@ -74,6 +86,11 @@ class MKOS_THREAD_CONFINED("one campaign cell task") MpiWorld {
   /// Run a brk/sbrk sequence on every lane's heap (deltas in bytes), then
   /// touch the grown memory (Lulesh's allocation churn).
   void heap_cycle(std::span<const std::int64_t> deltas);
+  /// Kernel-object allocation churn: every lane performs `pairs_per_rank`
+  /// alloc/free pairs of `obj_bytes` objects through the attached allocator
+  /// model (per-CPU magazines -> depot -> slab/vmem refill cascade). No-op
+  /// when no model is attached.
+  void alloc_churn(std::uint64_t pairs_per_rank, sim::Bytes obj_bytes);
 
   // -------------------------------------------------- synchronizing comms
   /// Tree allreduce of `bytes` (per rank) over the whole world.
@@ -287,6 +304,8 @@ class MKOS_THREAD_CONFINED("one campaign cell task") MpiWorld {
   sim::TimeNs compute_time_{0};
   ResilienceManager* resilience_ = nullptr;
   sim::TimeNs fault_wait_{0};
+  alloc::NodeAllocModel* alloc_model_ = nullptr;
+  sim::TimeNs alloc_wait_{0};
   bool trace_enabled_ = false;
   std::vector<SyncEvent> trace_;
   std::uint64_t allreduces_ = 0;

@@ -85,6 +85,12 @@ std::unique_ptr<App> make_milc();
 /// `nx` is the global cube edge (the paper runs 660^3; MiniFE is the one
 /// benchmark that is NOT weak-scaled).
 std::unique_ptr<App> make_minife(int nx = 660);
+/// XSBench-style neutron cross-section lookup proxy, one factory per
+/// placement policy (first-touch/DDR4, interleave, MCDRAM-preferred) — the
+/// bench/fig_numa_lookup axis.
+std::unique_ptr<App> make_xsbench_first_touch();
+std::unique_ptr<App> make_xsbench_interleave();
+std::unique_ptr<App> make_xsbench_mcdram();
 
 /// All Fig. 4 apps, in the figure's order.
 [[nodiscard]] std::vector<std::unique_ptr<App>> make_fig4_apps();

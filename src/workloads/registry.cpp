@@ -19,6 +19,11 @@ std::vector<std::string> fig4_app_names() {
 std::vector<std::string> registry_names() {
   std::vector<std::string> names = fig4_app_names();
   names.insert(names.begin() + 5, "Lulesh2.0");  // alphabetical slot
+  // XSBench placement variants sort after MiniFE; appended to keep the
+  // long-standing prefix (and everything keyed to its order) stable.
+  names.emplace_back("XSBench/first-touch");
+  names.emplace_back("XSBench/interleave");
+  names.emplace_back("XSBench/mcdram");
   return names;
 }
 
@@ -36,6 +41,11 @@ double app_cost_weight(std::string_view name) {
   if (name == "Lulesh2.0") return 30.0;
   if (name == "MILC") return 1.0;
   if (name == "MiniFE") return 1.0;
+  // Bandwidth-loop proxies with a single-threaded 64-rank layout; cheaper
+  // than MiniFE's 4-thread cells.
+  if (name == "XSBench/first-touch") return 0.6;
+  if (name == "XSBench/interleave") return 0.6;
+  if (name == "XSBench/mcdram") return 0.6;
   return 1.0;
 }
 
@@ -48,6 +58,9 @@ std::unique_ptr<App> make_app(std::string_view name) {
   if (name == "Lulesh2.0") return make_lulesh();
   if (name == "MILC") return make_milc();
   if (name == "MiniFE") return make_minife();
+  if (name == "XSBench/first-touch") return make_xsbench_first_touch();
+  if (name == "XSBench/interleave") return make_xsbench_interleave();
+  if (name == "XSBench/mcdram") return make_xsbench_mcdram();
   return nullptr;
 }
 

@@ -1,0 +1,18 @@
+// Closed-group fixture for the alloc group: one registered literal (clean)
+// and one unregistered literal — the alloc.* manifest is closed, so any
+// counter the subsystem emits must be declared in the schema first.
+
+#include "sim/base.hpp"
+
+namespace mkos::alloc {
+
+struct Ledger {
+  void incr(const char* name) { (void)name; }
+};
+
+void emit(Ledger& ledger) {
+  ledger.incr("alloc.magazine_hits");  // registered: clean
+  ledger.incr("alloc.bogus");          // unregistered literal, closed group
+}
+
+}  // namespace mkos::alloc

@@ -1,0 +1,11 @@
+#pragma once
+// alloc -> runtime is not in the fixture allowed-edge list: the allocator
+// model must stay below the runtime (the runtime consumes it, never the
+// other way around), so this include is a layering violation.
+
+#include "runtime/api.hpp"
+#include "sim/base.hpp"
+
+namespace mkos::alloc {
+int model();
+}  // namespace mkos::alloc

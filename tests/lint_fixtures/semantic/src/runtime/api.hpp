@@ -1,0 +1,8 @@
+#pragma once
+// Include target for the alloc -> runtime layering fixture: the layering
+// phase only resolves includes against files inside the scanned set, so the
+// upward edge must point at a real fixture header.
+
+namespace mkos::runtime {
+int api();
+}  // namespace mkos::runtime

@@ -323,20 +323,21 @@ std::vector<std::string> semantic_fixture_files(const std::string& root) {
 TEST(LintTree, SemanticFixtureViolations) {
   const std::string root = std::string(MKOS_LINT_FIXTURES) + "/semantic";
   const auto files = semantic_fixture_files(root);
-  ASSERT_EQ(files.size(), 7u);
+  ASSERT_EQ(files.size(), 10u);
   mkos::lint::TreeOptions opts;
   opts.layering_rules = "layering.rules";
   opts.counter_schema = "counter_schema.json";
   const auto vs = mkos::lint::lint_tree(root, files, opts);
-  // One disallowed edge (mem -> core); the opposite edge is allowed yet the
-  // mem <-> core module cycle is still flagged, plus the same-module
-  // kernel/a.hpp <-> kernel/b.hpp header cycle; one unregistered literal,
-  // one unregistered dynamic-group prefix, and one unregistered literal in
-  // the closed dotted campaign.sched group.
-  EXPECT_EQ(count_rule(vs, "layering"), 1) << vs.size();
+  // Two disallowed edges (mem -> core, plus the upward alloc -> runtime
+  // include); the opposite mem edge is allowed yet the mem <-> core module
+  // cycle is still flagged, plus the same-module kernel/a.hpp <->
+  // kernel/b.hpp header cycle; one unregistered literal, one unregistered
+  // dynamic-group prefix, and one unregistered literal each in the closed
+  // dotted campaign.sched group and the closed alloc group.
+  EXPECT_EQ(count_rule(vs, "layering"), 2) << vs.size();
   EXPECT_EQ(count_rule(vs, "include-cycle"), 2);
-  EXPECT_EQ(count_rule(vs, "unknown-counter"), 3);
-  EXPECT_EQ(vs.size(), 6u);
+  EXPECT_EQ(count_rule(vs, "unknown-counter"), 4);
+  EXPECT_EQ(vs.size(), 8u);
 }
 
 TEST(LintTree, SemanticPhasesAreOptIn) {
